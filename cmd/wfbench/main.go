@@ -1,0 +1,161 @@
+// Command wfbench regenerates every table and figure from the paper's
+// evaluation: Table I, Figures 2-4 (runtime) and 5-7 (cost), the Section
+// III.C disk characteristics, and the ablation experiments from DESIGN.md.
+//
+// Usage:
+//
+//	wfbench             # everything
+//	wfbench -fig 4      # one figure (2-7)
+//	wfbench -table1     # Table I only
+//	wfbench -disk       # Section III.C disk table
+//	wfbench -ablation s3cache
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ec2wfsim/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (2-7); 0 = all")
+	table1 := flag.Bool("table1", false, "regenerate Table I only")
+	diskTable := flag.Bool("disk", false, "print the Section III.C disk table only")
+	ablation := flag.String("ablation", "", "run one ablation: "+strings.Join(harness.AblationNames(), ", "))
+	csvPath := flag.String("csv", "", "write the full experiment grid (all apps) as CSV to this path")
+	flag.Parse()
+
+	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "wfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, table1, diskTable bool, ablation, csvPath string) error {
+	switch {
+	case csvPath != "":
+		return writeGridCSV(csvPath)
+	case table1:
+		return printTableI()
+	case diskTable:
+		fmt.Print(harness.DiskBench().String())
+		return nil
+	case ablation != "":
+		_, out, err := harness.Ablation(ablation)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case fig != 0:
+		return printFigure(fig, nil)
+	}
+	// Everything, in paper order.
+	if err := printTableI(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(harness.DiskBench().String())
+	for f := 2; f <= 4; f++ {
+		fmt.Println()
+		// Reuse the runtime grid for the matching cost figure.
+		out, cells, err := harness.RuntimeFigure(f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Println()
+		costOut, _, err := harness.CostFigure(f+3, cells)
+		if err != nil {
+			return err
+		}
+		fmt.Print(costOut)
+	}
+	for _, name := range harness.AblationNames() {
+		fmt.Println()
+		_, out, err := harness.Ablation(name)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	return nil
+}
+
+// writeGridCSV dumps the full (application x storage x nodes) grid with
+// makespans, costs and storage counters — the raw data behind every
+// figure, ready for external plotting.
+func writeGridCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	header := []string{"app", "storage", "nodes", "makespan_s", "cost_per_hour", "cost_per_second",
+		"utilization", "network_bytes", "s3_gets", "s3_puts", "cache_hits", "cache_misses"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, app := range []string{"montage", "epigenome", "broadband"} {
+		cells, err := harness.Grid(app, nil)
+		if err != nil {
+			return err
+		}
+		for _, c := range cells {
+			r := c.Result
+			row := []string{
+				app, c.System, fmt.Sprint(c.Workers),
+				fmt.Sprintf("%.1f", r.Makespan),
+				fmt.Sprintf("%.2f", r.CostHour.Total()),
+				fmt.Sprintf("%.4f", r.CostSecond.Total()),
+				fmt.Sprintf("%.3f", r.Utilization),
+				fmt.Sprintf("%.0f", r.Stats.NetworkBytes),
+				fmt.Sprint(r.Stats.Gets), fmt.Sprint(r.Stats.Puts),
+				fmt.Sprint(r.Stats.CacheHits), fmt.Sprint(r.Stats.CacheMisses),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote experiment grid to %s\n", path)
+	return nil
+}
+
+func printTableI() error {
+	t, err := harness.TableI()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func printFigure(fig int, cells []harness.Cell) error {
+	if fig >= 2 && fig <= 4 {
+		out, _, err := harness.RuntimeFigure(fig)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	if fig >= 5 && fig <= 7 {
+		out, _, err := harness.CostFigure(fig, cells)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	return fmt.Errorf("figure %d not in the paper (want 2-7)", fig)
+}

@@ -1,0 +1,92 @@
+// Command wfprof profiles the paper's workflow applications the way the
+// authors' ptrace-based profiler did, reporting per-transformation and
+// per-workflow I/O, memory and CPU figures plus the Table I
+// classification.
+//
+// Usage:
+//
+//	wfprof                 # all three applications (Table I)
+//	wfprof -app broadband  # one application, with the per-transformation breakdown
+//	wfprof -app montage -json workflow.json   # dump the DAG as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/report"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/wfprof"
+)
+
+func main() {
+	app := flag.String("app", "", "profile one application (default: all)")
+	jsonPath := flag.String("json", "", "also write the workflow DAG as JSON to this path")
+	flag.Parse()
+
+	if err := run(*app, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "wfprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, jsonPath string) error {
+	names := apps.Names()
+	if app != "" {
+		names = []string{app}
+	}
+	summary := &report.Table{
+		Title:  "TABLE I — APPLICATION RESOURCE USAGE COMPARISON",
+		Header: []string{"Application", "I/O", "Memory", "CPU", "Tasks", "Input", "Output", "Footprint", "CPU-hours"},
+	}
+	for _, name := range names {
+		w, err := apps.PaperScale(name)
+		if err != nil {
+			return err
+		}
+		p := wfprof.Analyze(w)
+		summary.AddRow(name,
+			p.IOClass.String(), p.MemoryClass.String(), p.CPUClass.String(),
+			fmt.Sprintf("%d", p.Stats.TaskCount),
+			units.Bytes(p.Stats.InputBytes),
+			units.Bytes(p.Stats.OutputBytes),
+			units.Bytes(p.UniqueBytes),
+			fmt.Sprintf("%.1f", p.CPUSeconds/units.Hour),
+		)
+		if app != "" {
+			detail := &report.Table{
+				Title:  "Per-transformation profile: " + name,
+				Header: []string{"Transformation", "Count", "CPU total", "Read", "Written", "Peak RSS"},
+			}
+			for _, ts := range p.Stats.ByTransformation {
+				detail.AddRow(ts.Name,
+					fmt.Sprintf("%d", ts.Count),
+					units.Duration(ts.Runtime),
+					units.Bytes(ts.ReadBytes),
+					units.Bytes(ts.WriteBytes),
+					units.Bytes(ts.PeakMemory),
+				)
+			}
+			fmt.Print(detail.String())
+			fmt.Println()
+		}
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := w.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s DAG to %s\n\n", name, jsonPath)
+		}
+	}
+	fmt.Print(summary.String())
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command wfsim runs a single (application x storage x cluster-size)
+// experiment from the paper and prints the makespan, cost and storage
+// counters — optionally with a Gantt chart of the execution.
+//
+// Usage:
+//
+//	wfsim -app montage -storage gluster-nufa -nodes 4
+//	wfsim -app broadband -storage s3 -nodes 8 -gantt
+//	wfsim -app epigenome -storage nfs -nodes 2 -data-aware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/cost"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/trace"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/wms"
+)
+
+func main() {
+	app := flag.String("app", "montage", "application: "+strings.Join(apps.Names(), ", "))
+	sysName := flag.String("storage", "gluster-nufa", "storage system: "+strings.Join(storage.Names(), ", "))
+	nodes := flag.Int("nodes", 2, "number of c1.xlarge worker nodes")
+	dataAware := flag.Bool("data-aware", false, "use the locality-aware scheduler (paper future work)")
+	gantt := flag.Bool("gantt", false, "print a per-node Gantt chart")
+	csvPath := flag.String("csv", "", "write the execution trace as CSV to this path")
+	seed := flag.Uint64("seed", 0x5EED, "provisioning jitter seed")
+	flag.Parse()
+
+	if err := run(*app, *sysName, *nodes, *dataAware, *gantt, *csvPath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, sysName string, nodes int, dataAware, gantt bool, csvPath string, seed uint64) error {
+	w, err := apps.PaperScale(app)
+	if err != nil {
+		return err
+	}
+	sys, err := storage.ByName(sysName)
+	if err != nil {
+		return err
+	}
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, err := cluster.New(e, net, rng.New(seed), cluster.Config{
+		Workers:    nodes,
+		WorkerType: cluster.C1XLarge(),
+		Extra:      sys.ExtraNodeTypes(),
+	})
+	if err != nil {
+		return err
+	}
+	env := &storage.Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(seed + 1)}
+	if err := sys.Init(env); err != nil {
+		return err
+	}
+	res, err := wms.Run(e, wms.Options{Cluster: c, Storage: sys, DataAware: dataAware}, w)
+	if err != nil {
+		return err
+	}
+	st := sys.Stats()
+	hour := cost.Compute(c, res.Makespan, st, cost.PerHour)
+	sec := cost.Compute(c, res.Makespan, st, cost.PerSecond)
+
+	fmt.Printf("%s on %s, %d x c1.xlarge", app, sysName, nodes)
+	if len(c.Extra) > 0 {
+		fmt.Printf(" + %d service node(s)", len(c.Extra))
+	}
+	fmt.Println()
+	fmt.Printf("  tasks             %d\n", len(res.Spans))
+	fmt.Printf("  provisioning      %s (excluded from makespan)\n", units.Duration(c.ProvisionTime))
+	fmt.Printf("  makespan          %s (%.0f s)\n", units.Duration(res.Makespan), res.Makespan)
+	fmt.Printf("  utilization       %.0f%%\n", res.Utilization(c)*100)
+	fmt.Printf("  cost per-hour     %s  (%.1f node-hours)\n", units.USD(hour.Total()), hour.NodeHours)
+	fmt.Printf("  cost per-second   %s\n", units.USD(sec.Total()))
+	fmt.Printf("  network traffic   %s\n", units.Bytes(st.NetworkBytes))
+	if st.Gets+st.Puts > 0 {
+		fmt.Printf("  S3 requests       %d GET, %d PUT (%s fees)\n",
+			st.Gets, st.Puts, units.USD(hour.RequestCost))
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Printf("  client cache      %d hits / %d misses\n", st.CacheHits, st.CacheMisses)
+	}
+	if gantt {
+		tr := trace.New(res.Spans, res.Makespan)
+		fmt.Println()
+		fmt.Print(tr.Gantt(100))
+		fmt.Println()
+		fmt.Print(tr.Summary(cluster.C1XLarge().Cores))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		tr := trace.New(res.Spans, res.Makespan)
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  trace CSV         %s (%d rows)\n", csvPath, len(res.Spans))
+	}
+	return nil
+}

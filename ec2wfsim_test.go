@@ -1,0 +1,88 @@
+package ec2wfsim
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/apps"
+)
+
+func TestFacadeRunsScaledWorkflow(t *testing.T) {
+	w, err := apps.Montage(apps.MontageConfig{Images: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Workflow: w, Storage: "gluster-nufa", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSeconds <= 0 {
+		t.Error("non-positive makespan")
+	}
+	if res.CostPerHour < res.CostPerSecond {
+		t.Error("per-hour cost below per-second cost")
+	}
+	if res.ProvisionSeconds < 70 {
+		t.Errorf("provisioning %.0f s below the EC2 boot window", res.ProvisionSeconds)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := Run(Config{Application: "nope", Storage: "local", Workers: 1}); err == nil {
+		t.Error("expected error for unknown application")
+	}
+	if _, err := Run(Config{Application: "montage", Storage: "nope", Workers: 1}); err == nil {
+		t.Error("expected error for unknown storage system")
+	}
+	if _, err := Run(Config{Application: "montage", Storage: "gluster-nufa", Workers: 1}); err == nil {
+		t.Error("expected error for GlusterFS below its 2-node minimum")
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(Systems()) < 8 {
+		t.Errorf("Systems() = %v, want the full registry", Systems())
+	}
+	if len(Applications()) != 3 {
+		t.Errorf("Applications() = %v, want the paper's three", Applications())
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() float64 {
+		w, err := apps.Epigenome(apps.EpigenomeConfig{Lanes: 1, ChunksPerLane: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{Workflow: w, Storage: "nfs", Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSeconds
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical configs diverged: %g vs %g", a, b)
+	}
+}
+
+func TestFacadeAmortize(t *testing.T) {
+	w, err := apps.Epigenome(apps.EpigenomeConfig{Lanes: 1, ChunksPerLane: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Amortize(Config{Workflow: w, Storage: "gluster-nufa", Workers: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != 5 {
+		t.Errorf("Runs = %d, want 5", a.Runs)
+	}
+	if a.SharedTotal > a.SeparateTotal {
+		t.Error("sharing a cluster must never cost more than separate provisioning")
+	}
+	if a.PerSecondTotal > a.SharedTotal {
+		t.Error("per-second baseline must be the floor")
+	}
+	if a.SavedFraction < 0 || a.SavedFraction >= 1 {
+		t.Errorf("SavedFraction = %g out of range", a.SavedFraction)
+	}
+}

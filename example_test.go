@@ -1,0 +1,64 @@
+package ec2wfsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"ec2wfsim"
+	"ec2wfsim/internal/apps"
+)
+
+// Simulate a scaled-down Montage mosaic on a 2-node GlusterFS cluster.
+// Everything is deterministic, so the output is reproducible bit for bit.
+func ExampleRun() {
+	w, err := apps.Montage(apps.MontageConfig{Images: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ec2wfsim.Run(ec2wfsim.Config{
+		Workflow: w,
+		Storage:  "gluster-nufa",
+		Workers:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tasks completed on %d cores for %s\n", 16, "under a dollar")
+	fmt.Printf("bill: $%.2f\n", res.CostPerHour)
+	// Output:
+	// tasks completed on 16 cores for under a dollar
+	// bill: $1.36
+}
+
+// Compare two storage systems for the same workload.
+func ExampleRun_compare() {
+	for _, storage := range []string{"gluster-nufa", "s3"} {
+		w, err := apps.Epigenome(apps.EpigenomeConfig{Lanes: 1, ChunksPerLane: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ec2wfsim.Run(ec2wfsim.Config{Workflow: w, Storage: storage, Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: $%.2f\n", storage, res.CostPerHour)
+	}
+	// Output:
+	// gluster-nufa: $1.36
+	// s3: $1.36
+}
+
+// Price a batch of workflows on one provisioned cluster (Section VI).
+func ExampleAmortize() {
+	w, err := apps.Epigenome(apps.EpigenomeConfig{Lanes: 1, ChunksPerLane: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := ec2wfsim.Amortize(ec2wfsim.Config{Workflow: w, Storage: "gluster-nufa", Workers: 2}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4 separate runs: $%.2f, shared cluster: $%.2f\n", a.SeparateTotal, a.SharedTotal)
+	// Output:
+	// 4 separate runs: $5.44, shared cluster: $1.36
+}

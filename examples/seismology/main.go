@@ -1,0 +1,69 @@
+// Seismology study: the paper's most surprising result, reproduced as an
+// application. Broadband — memory-limited and input-reuse-heavy — behaves
+// unlike the other workflows: the object store (S3 with a client cache)
+// beats every POSIX file system, and NFS gets *slower* when the cluster
+// grows from 2 to 4 nodes. This example also runs the paper's big-server
+// ablation (m2.4xlarge vs m1.xlarge NFS server, Section V.C).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ec2wfsim"
+)
+
+func run(storage string, nodes int) *ec2wfsim.Result {
+	res, err := ec2wfsim.Run(ec2wfsim.Config{
+		Application: "broadband",
+		Storage:     storage,
+		Workers:     nodes,
+	})
+	if err != nil {
+		log.Fatalf("broadband on %s with %d nodes: %v", storage, nodes, err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Broadband (6 sources x 8 sites, 768 tasks) on EC2")
+	fmt.Println()
+
+	// The storage comparison at 4 nodes — the case the paper quantifies.
+	fmt.Println("Storage comparison at 4 nodes (paper: NFS 5363 s; GlusterFS and S3 < 3000 s):")
+	for _, storage := range []string{"s3", "gluster-nufa", "gluster-dist", "pvfs", "nfs"} {
+		res := run(storage, 4)
+		fmt.Printf("  %-14s %6.0f s   $%.2f/hr   cache hits %d\n",
+			storage, res.MakespanSeconds, res.CostPerHour, res.Storage.CacheHits)
+	}
+
+	// The NFS scaling anomaly.
+	fmt.Println()
+	fmt.Println("NFS scaling (paper: performance *decreases* from 2 to 4 nodes):")
+	prev := 0.0
+	for _, nodes := range []int{1, 2, 4, 8} {
+		res := run("nfs", nodes)
+		marker := ""
+		if prev > 0 && res.MakespanSeconds > prev {
+			marker = "   <-- slower with more nodes (incast collapse)"
+		}
+		fmt.Printf("  %d nodes: %6.0f s%s\n", nodes, res.MakespanSeconds, marker)
+		prev = res.MakespanSeconds
+	}
+
+	// The big-server ablation.
+	fmt.Println()
+	small := run("nfs", 4)
+	big := run("nfs-m2.4xlarge", 4)
+	fmt.Printf("NFS server upgrade at 4 nodes (paper: 5363 s -> 4368 s):\n")
+	fmt.Printf("  m1.xlarge server:  %6.0f s  $%.2f/hr\n", small.MakespanSeconds, small.CostPerHour)
+	fmt.Printf("  m2.4xlarge server: %6.0f s  $%.2f/hr  (faster, but pricier and still behind S3/GlusterFS)\n",
+		big.MakespanSeconds, big.CostPerHour)
+
+	// Why S3 wins: the write-once client cache absorbs Broadband's
+	// repeated reads of the velocity models.
+	fmt.Println()
+	s3 := run("s3", 4)
+	fmt.Printf("S3 client cache at 4 nodes: %d hits, %d GETs for %d reads — the paper's explanation for S3's win\n",
+		s3.Storage.CacheHits, s3.Storage.Gets, s3.Storage.Reads)
+}

@@ -1,0 +1,298 @@
+package apps
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+func stats(t *testing.T, w *workflow.Workflow, err error) workflow.Stats {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.ComputeStats()
+}
+
+// Paper Section II: "The resulting workflow contains 10,429 tasks, reads
+// 4.2 GB of input data, and produces 7.9 GB of output data."
+func TestMontagePaperScale(t *testing.T) {
+	w, err := Montage(MontageConfig{})
+	s := stats(t, w, err)
+	if s.TaskCount != 10429 {
+		t.Errorf("Montage tasks = %d, want 10429", s.TaskCount)
+	}
+	if s.InputBytes < 4.1*units.GB || s.InputBytes > 4.3*units.GB {
+		t.Errorf("Montage input = %s, want ~4.2 GB", units.Bytes(s.InputBytes))
+	}
+	if s.OutputBytes < 7.7*units.GB || s.OutputBytes > 8.1*units.GB {
+		t.Errorf("Montage output = %s, want ~7.9 GB", units.Bytes(s.OutputBytes))
+	}
+	// "a large number (~29,000) of relatively small (a few MB) files"
+	if s.FileAccesses < 25000 {
+		t.Errorf("Montage file accesses = %d, want tens of thousands", s.FileAccesses)
+	}
+	if s.FileCount < 10000 {
+		t.Errorf("Montage distinct files = %d, want >10k", s.FileCount)
+	}
+	if s.MeanFileSize > 10*units.MB {
+		t.Errorf("Montage mean file size = %s, want a few MB", units.Bytes(s.MeanFileSize))
+	}
+	// I/O-bound: low memory, modest CPU. No task needs more than ~1.5 GB.
+	if s.MaxPeakMemory > 1.5*units.GiB {
+		t.Errorf("Montage peak memory = %s, want low", units.Bytes(s.MaxPeakMemory))
+	}
+}
+
+// "we used 6 sources and 8 sites to generate a workflow containing 768
+// tasks that reads 6 GB of input data and writes 303 MB of output data"
+func TestBroadbandPaperScale(t *testing.T) {
+	w, err := Broadband(BroadbandConfig{})
+	s := stats(t, w, err)
+	if s.TaskCount != 768 {
+		t.Errorf("Broadband tasks = %d, want 768", s.TaskCount)
+	}
+	if s.InputBytes < 5.8*units.GB || s.InputBytes > 6.2*units.GB {
+		t.Errorf("Broadband input = %s, want ~6 GB", units.Bytes(s.InputBytes))
+	}
+	if s.OutputBytes < 290*units.MB || s.OutputBytes > 315*units.MB {
+		t.Errorf("Broadband output = %s, want ~303 MB", units.Bytes(s.OutputBytes))
+	}
+}
+
+// "more than 75% of its runtime is consumed by tasks requiring more than
+// 1 GB of physical memory"
+func TestBroadbandMemoryLimited(t *testing.T) {
+	w, err := Broadband(BroadbandConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, big := 0.0, 0.0
+	for _, task := range w.Tasks {
+		total += task.Runtime
+		if task.PeakMemory > 1*units.GB {
+			big += task.Runtime
+		}
+	}
+	if frac := big / total; frac < 0.75 || frac > 0.85 {
+		t.Errorf("runtime fraction in >1GB tasks = %.2f, want just above 0.75", frac)
+	}
+	// Memory must bind before cores on a c1.xlarge: the node's RAM holds
+	// far fewer copies of the heavy tasks than it has cores, which is
+	// what makes Broadband memory-limited.
+	var maxMem float64
+	for _, task := range w.Tasks {
+		if task.PeakMemory > maxMem {
+			maxMem = task.PeakMemory
+		}
+	}
+	nodeRAM := 7 * units.GiB
+	if copies := nodeRAM / maxMem; copies >= 4 {
+		t.Errorf("largest task (%s) fits %.1f times in 7 GiB; memory would not throttle an 8-core node",
+			units.Bytes(maxMem), copies)
+	}
+}
+
+// "The workflow contains 529 tasks, reads 1.9 GB of input data, and
+// produces 300 MB of output data."
+func TestEpigenomePaperScale(t *testing.T) {
+	w, err := Epigenome(EpigenomeConfig{})
+	s := stats(t, w, err)
+	if s.TaskCount != 529 {
+		t.Errorf("Epigenome tasks = %d, want 529", s.TaskCount)
+	}
+	if s.InputBytes < 1.8*units.GB || s.InputBytes > 2.0*units.GB {
+		t.Errorf("Epigenome input = %s, want ~1.9 GB", units.Bytes(s.InputBytes))
+	}
+	if s.OutputBytes < 285*units.MB || s.OutputBytes > 315*units.MB {
+		t.Errorf("Epigenome output = %s, want ~300 MB", units.Bytes(s.OutputBytes))
+	}
+}
+
+// Relative I/O intensity must match Table I: Montage >> Broadband >>
+// Epigenome. The metric is the unique data footprint (every file touched,
+// counted once) per CPU-second: repeated reads of the same file — like
+// Broadband's 192 reads of its velocity models — hit the page cache on
+// real systems and do not make an application "I/O-bound".
+func TestRelativeIOIntensity(t *testing.T) {
+	ratio := func(w *workflow.Workflow, err error) float64 {
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := w.ComputeStats()
+		unique := s.InputBytes + s.OutputBytes + s.IntermediateBytes
+		return unique / s.TotalRuntime
+	}
+	m := ratio(Montage(MontageConfig{}))
+	b := ratio(Broadband(BroadbandConfig{}))
+	e := ratio(Epigenome(EpigenomeConfig{}))
+	if !(m > b && b > e) {
+		t.Errorf("I/O intensity order wrong: montage=%.2g broadband=%.2g epigenome=%.2g (want m>b>e)",
+			m, b, e)
+	}
+	if m/e < 3 {
+		t.Errorf("montage/epigenome I/O intensity ratio = %.1f, want a wide spread", m/e)
+	}
+}
+
+// Memory ordering must match Table I: Broadband High, Epigenome Medium,
+// Montage Low.
+func TestRelativeMemoryUsage(t *testing.T) {
+	peak := func(w *workflow.Workflow, err error) float64 {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.ComputeStats().MaxPeakMemory
+	}
+	m := peak(Montage(MontageConfig{}))
+	b := peak(Broadband(BroadbandConfig{}))
+	e := peak(Epigenome(EpigenomeConfig{}))
+	if !(b > e && e >= m*0.5) {
+		t.Errorf("memory order: montage=%s broadband=%s epigenome=%s",
+			units.Bytes(m), units.Bytes(b), units.Bytes(e))
+	}
+	if b < 2*units.GB {
+		t.Errorf("Broadband peak = %s, want multi-GB (the lowFreq synthesis)", units.Bytes(b))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := Montage(MontageConfig{Images: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Montage(MontageConfig{Images: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("task counts differ across identical builds")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Runtime != b.Tasks[i].Runtime {
+			t.Fatalf("task %d runtime differs: %g vs %g (jitter not deterministic)",
+				i, a.Tasks[i].Runtime, b.Tasks[i].Runtime)
+		}
+	}
+}
+
+func TestScaledDownInstances(t *testing.T) {
+	m, err := Montage(MontageConfig{Images: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 + 60 + 1 + 1 + 20 + 1 + 1
+	if len(m.Tasks) != 104 {
+		t.Errorf("scaled Montage = %d tasks, want 104", len(m.Tasks))
+	}
+	b, err := Broadband(BroadbandConfig{Sources: 1, Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Tasks) != 32 {
+		t.Errorf("scaled Broadband = %d tasks, want 32", len(b.Tasks))
+	}
+	e, err := Epigenome(EpigenomeConfig{Lanes: 1, ChunksPerLane: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 split + 4*4 chunks + 1 lane merge + global + index + pileup + density + qc
+	if len(e.Tasks) != 23 {
+		t.Errorf("scaled Epigenome = %d tasks, want 23", len(e.Tasks))
+	}
+}
+
+func TestPaperScaleDispatch(t *testing.T) {
+	for _, name := range Names() {
+		w, err := PaperScale(name)
+		if err != nil {
+			t.Errorf("PaperScale(%s): %v", name, err)
+			continue
+		}
+		if !w.Finalized() {
+			t.Errorf("PaperScale(%s) not finalized", name)
+		}
+	}
+	if _, err := PaperScale("nope"); err == nil {
+		t.Error("expected error for unknown application")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Montage(MontageConfig{Images: 1}); err == nil {
+		t.Error("Montage with 1 image should fail")
+	}
+	if _, err := Broadband(BroadbandConfig{Sources: -1, Sites: 1}); err == nil {
+		t.Error("Broadband with negative sources should fail")
+	}
+	if _, err := Epigenome(EpigenomeConfig{Lanes: -1, ChunksPerLane: 1}); err == nil {
+		t.Error("Epigenome with negative lanes should fail")
+	}
+}
+
+// Every generated workflow must be a valid DAG whose tasks all carry
+// positive runtimes and whose files all have positive sizes.
+func TestGeneratedWorkflowsWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		w, err := PaperScale(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := w.TopoOrder()
+		if len(order) != len(w.Tasks) {
+			t.Errorf("%s: topo order incomplete (%d of %d)", name, len(order), len(w.Tasks))
+		}
+		for _, task := range w.Tasks {
+			if task.Runtime <= 0 {
+				t.Errorf("%s: task %s has runtime %g", name, task.ID, task.Runtime)
+			}
+			if task.PeakMemory < 0 {
+				t.Errorf("%s: task %s has negative memory", name, task.ID)
+			}
+		}
+		for _, f := range w.Files() {
+			if f.Size <= 0 {
+				t.Errorf("%s: file %s has size %g", name, f.Name, f.Size)
+			}
+		}
+	}
+}
+
+// "The size of a Montage workflow depends upon the area of the sky
+// covered by the output mosaic": the Degrees knob must reproduce the
+// paper's 8-degree instance and scale quadratically.
+func TestMontageDegreeScaling(t *testing.T) {
+	eight, err := Montage(MontageConfig{Degrees: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eight.Tasks) != 10429 {
+		t.Errorf("8-degree mosaic = %d tasks, want the paper's 10429", len(eight.Tasks))
+	}
+	four, err := Montage(MontageConfig{Degrees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area scales with degrees squared: a 4-degree mosaic has ~1/4 the
+	// images of the 8-degree one.
+	ratio := float64(len(eight.Tasks)) / float64(len(four.Tasks))
+	if ratio < 3.6 || ratio > 4.4 {
+		t.Errorf("8-deg/4-deg task ratio = %.2f, want ~4 (quadratic in degrees)", ratio)
+	}
+	one, err := Montage(MontageConfig{Degrees: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Tasks) >= len(four.Tasks) {
+		t.Error("1-degree mosaic not smaller than 4-degree")
+	}
+	// Explicit Images overrides Degrees.
+	o, err := Montage(MontageConfig{Degrees: 8, Images: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Tasks) != 10*5+4 {
+		t.Errorf("Images override produced %d tasks", len(o.Tasks))
+	}
+}

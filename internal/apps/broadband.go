@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// BroadbandConfig parameterizes the Broadband seismology workflow. The
+// zero value is the paper's configuration: 6 sources x 8 sites = 48
+// sub-pipelines of 16 tasks each (768 tasks), 6 GB of input, 303 MB of
+// output.
+type BroadbandConfig struct {
+	Sources int
+	Sites   int
+	Seed    uint64
+}
+
+func (c *BroadbandConfig) defaults() {
+	if c.Sources == 0 {
+		c.Sources = 6
+	}
+	if c.Sites == 0 {
+		c.Sites = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xB40ADB
+	}
+}
+
+// Broadband builds the seismogram-generation workflow. For every
+// (source, site) combination it runs a 16-task sub-pipeline:
+//
+//	rupGen          rupture variation generator        (reads the shared
+//	                                                    source rupture)
+//	lowFreq         low-frequency synthesis, 2.2 GiB RSS (the memory hog)
+//	hfSim x 4       high-frequency simulation, 1.6 GiB RSS
+//	siteResp x 4    site response correction
+//	mergeHF         merge the high-frequency bands
+//	combine         combine low+high into a broadband seismogram
+//	peakCalc x 3    intensity measures (PGA, PGV, SA)
+//	summarize       bundle seismograms + intensities    (6.3 MB, kept)
+//
+// Two properties matter for the paper's results. First, the velocity
+// models (and each source's rupture description) are shared across
+// pipelines, so Broadband re-reads input files heavily — this is what
+// makes the S3 client cache effective. Second, >75% of the compute time
+// sits in tasks needing more than 1 GB of memory, so a 7 GB / 8-core node
+// cannot fill its cores — Broadband is memory-limited.
+func Broadband(cfg BroadbandConfig) (*workflow.Workflow, error) {
+	cfg.defaults()
+	if cfg.Sources < 1 || cfg.Sites < 1 {
+		return nil, fmt.Errorf("broadband: need >=1 sources and sites, got %d x %d", cfg.Sources, cfg.Sites)
+	}
+	r := rng.New(cfg.Seed)
+	w := workflow.New("broadband")
+
+	// Shared inputs: velocity models for the low- and high-frequency
+	// codes plus a site-model database. Total with ruptures: 6 GB.
+	velLF := w.File("la-basin-lf.vel", 1.2*units.GB)
+	velHF := w.File("la-basin-hf.vel", 1.2*units.GB)
+	sites := w.File("site-models.db", 42*units.MB)
+
+	ruptures := make([]*workflow.File, cfg.Sources)
+	for s := range ruptures {
+		ruptures[s] = w.File(fmt.Sprintf("rupture-src%d.src", s), 593*units.MB)
+	}
+
+	for s := 0; s < cfg.Sources; s++ {
+		for t := 0; t < cfg.Sites; t++ {
+			id := fmt.Sprintf("s%dt%d", s, t)
+
+			rupVar := w.File("rupvar-"+id+".dat", 10*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "rupGen-" + id,
+				Transformation: "rupGen",
+				Runtime:        41 * r.Jitter(0.2),
+				PeakMemory:     1.2 * units.GiB,
+				Inputs:         []*workflow.File{ruptures[s]},
+				Outputs:        []*workflow.File{rupVar},
+			})
+
+			lfSeis := w.File("lf-"+id+".grm", 8*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "lowFreq-" + id,
+				Transformation: "lowFreq",
+				Runtime:        146 * r.Jitter(0.2),
+				PeakMemory:     2.2 * units.GiB,
+				Inputs:         []*workflow.File{rupVar, velLF},
+				Outputs:        []*workflow.File{lfSeis},
+			})
+
+			var hfCorr []*workflow.File
+			for b := 0; b < 4; b++ {
+				hf := w.File(fmt.Sprintf("hf-%s-b%d.grm", id, b), 4*units.MB)
+				w.AddTask(&workflow.Task{
+					ID:             fmt.Sprintf("hfSim-%s-b%d", id, b),
+					Transformation: "hfSim",
+					Runtime:        56 * r.Jitter(0.2),
+					PeakMemory:     1.6 * units.GiB,
+					Inputs:         []*workflow.File{rupVar, velHF},
+					Outputs:        []*workflow.File{hf},
+				})
+				hc := w.File(fmt.Sprintf("hfc-%s-b%d.grm", id, b), 4*units.MB)
+				w.AddTask(&workflow.Task{
+					ID:             fmt.Sprintf("siteResp-%s-b%d", id, b),
+					Transformation: "siteResp",
+					Runtime:        15 * r.Jitter(0.2),
+					PeakMemory:     0.4 * units.GiB,
+					Inputs:         []*workflow.File{hf, sites},
+					Outputs:        []*workflow.File{hc},
+				})
+				hfCorr = append(hfCorr, hc)
+			}
+
+			hfMerged := w.File("hfm-"+id+".grm", 6*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "mergeHF-" + id,
+				Transformation: "mergeHF",
+				Runtime:        11 * r.Jitter(0.2),
+				PeakMemory:     0.5 * units.GiB,
+				Inputs:         hfCorr,
+				Outputs:        []*workflow.File{hfMerged},
+			})
+
+			bbSeis := w.File("bb-"+id+".grm", 6*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "combine-" + id,
+				Transformation: "combine",
+				Runtime:        15 * r.Jitter(0.2),
+				PeakMemory:     0.5 * units.GiB,
+				Inputs:         []*workflow.File{lfSeis, hfMerged},
+				Outputs:        []*workflow.File{bbSeis},
+			})
+
+			var peaks []*workflow.File
+			for _, m := range []string{"pga", "pgv", "sa"} {
+				pk := w.File(fmt.Sprintf("peak-%s-%s.txt", id, m), 200*units.KB)
+				w.AddTask(&workflow.Task{
+					ID:             fmt.Sprintf("peakCalc-%s-%s", id, m),
+					Transformation: "peakCalc",
+					Runtime:        7.5 * r.Jitter(0.2),
+					PeakMemory:     0.3 * units.GiB,
+					Inputs:         []*workflow.File{bbSeis},
+					Outputs:        []*workflow.File{pk},
+				})
+				peaks = append(peaks, pk)
+			}
+
+			summary := w.File("summary-"+id+".tar", 6.3*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "summarize-" + id,
+				Transformation: "summarize",
+				Runtime:        4 * r.Jitter(0.2),
+				PeakMemory:     0.2 * units.GiB,
+				Inputs:         append([]*workflow.File{bbSeis}, peaks...),
+				Outputs:        []*workflow.File{summary},
+			})
+		}
+	}
+
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,186 @@
+package apps
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// EpigenomeConfig parameterizes the Epigenome DNA-mapping workflow. The
+// zero value is the paper's chromosome-21 configuration: 529 tasks,
+// 1.9 GB of input, ~300 MB of output.
+type EpigenomeConfig struct {
+	Lanes         int // sequencer lanes (input FASTQ files)
+	ChunksPerLane int // parallel chunks each lane is split into
+	Seed          uint64
+}
+
+func (c *EpigenomeConfig) defaults() {
+	if c.Lanes == 0 {
+		c.Lanes = 2
+	}
+	if c.ChunksPerLane == 0 {
+		c.ChunksPerLane = 65
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xE16E
+	}
+}
+
+// Epigenome builds the MAQ-based DNA methylation mapping pipeline:
+//
+//	fastqSplit x L       split each lane's reads into chunks
+//	filterContams x LC   remove contaminating reads
+//	sol2sanger x LC      convert Solexa to Sanger FASTQ
+//	fastq2bfq x LC       binary-encode the reads
+//	map x LC             MAQ alignment against the chr21 reference
+//	                     (the CPU furnace: ~180 s per chunk)
+//	mapMerge x (L+1)     per-lane then global merge -> chr21.map (kept)
+//	maqIndex x 1         index the merged map
+//	pileup x 1           per-position pileup (kept)
+//	density x 1          sequence density per locus (kept)
+//	qcReport x 1         mapping-quality report (kept)
+//
+// With L=2 lanes and C=65 chunks this is 529 tasks. Epigenome is
+// CPU-bound: 99% of its time is computation, so the paper finds the
+// storage system barely matters for it.
+func Epigenome(cfg EpigenomeConfig) (*workflow.Workflow, error) {
+	cfg.defaults()
+	if cfg.Lanes < 1 || cfg.ChunksPerLane < 1 {
+		return nil, fmt.Errorf("epigenome: need >=1 lanes and chunks, got %d x %d", cfg.Lanes, cfg.ChunksPerLane)
+	}
+	r := rng.New(cfg.Seed)
+	w := workflow.New("epigenome")
+
+	// MAQ's binary FASTA of human chromosome 21 (~47 Mbp) is small; the
+	// bulk of the input is the two lanes of reads.
+	ref := w.File("chr21.bfa", 15*units.MB)
+
+	var laneMaps []*workflow.File
+	for l := 0; l < cfg.Lanes; l++ {
+		lane := w.File(fmt.Sprintf("lane%d.fastq", l), 940*units.MB)
+		split := w.AddTask(&workflow.Task{
+			ID:             fmt.Sprintf("fastqSplit-%d", l),
+			Transformation: "fastqSplit",
+			Runtime:        21 * r.Jitter(0.1),
+			PeakMemory:     0.3 * units.GiB,
+			Inputs:         []*workflow.File{lane},
+		})
+		var chunkMaps []*workflow.File
+		for c := 0; c < cfg.ChunksPerLane; c++ {
+			id := fmt.Sprintf("l%dc%02d", l, c)
+			chunk := w.File("chunk-"+id+".fastq", 12*units.MB)
+			split.Outputs = append(split.Outputs, chunk)
+
+			filtered := w.File("filt-"+id+".fastq", 11*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "filterContams-" + id,
+				Transformation: "filterContams",
+				Runtime:        20 * r.Jitter(0.2),
+				PeakMemory:     0.3 * units.GiB,
+				Inputs:         []*workflow.File{chunk},
+				Outputs:        []*workflow.File{filtered},
+			})
+
+			sanger := w.File("sanger-"+id+".fastq", 11*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "sol2sanger-" + id,
+				Transformation: "sol2sanger",
+				Runtime:        12 * r.Jitter(0.2),
+				PeakMemory:     0.2 * units.GiB,
+				Inputs:         []*workflow.File{filtered},
+				Outputs:        []*workflow.File{sanger},
+			})
+
+			bfq := w.File("bfq-"+id+".bfq", 5*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "fastq2bfq-" + id,
+				Transformation: "fastq2bfq",
+				Runtime:        8 * r.Jitter(0.2),
+				PeakMemory:     0.2 * units.GiB,
+				Inputs:         []*workflow.File{sanger},
+				Outputs:        []*workflow.File{bfq},
+			})
+
+			mapped := w.File("map-"+id+".map", 3*units.MB)
+			w.AddTask(&workflow.Task{
+				ID:             "map-" + id,
+				Transformation: "map",
+				Runtime:        153 * r.Jitter(0.25),
+				PeakMemory:     0.85 * units.GiB,
+				Inputs:         []*workflow.File{bfq, ref},
+				Outputs:        []*workflow.File{mapped},
+			})
+			chunkMaps = append(chunkMaps, mapped)
+		}
+		laneMap := w.File(fmt.Sprintf("lane%d.map", l), 120*units.MB)
+		w.AddTask(&workflow.Task{
+			ID:             fmt.Sprintf("mapMerge-lane%d", l),
+			Transformation: "mapMerge",
+			Runtime:        24 * r.Jitter(0.1),
+			PeakMemory:     0.6 * units.GiB,
+			Inputs:         chunkMaps,
+			Outputs:        []*workflow.File{laneMap},
+		})
+		laneMaps = append(laneMaps, laneMap)
+	}
+
+	merged := w.File("chr21.map", 238*units.MB)
+	merged.Keep = true
+	w.AddTask(&workflow.Task{
+		ID:             "mapMerge-global",
+		Transformation: "mapMerge",
+		Runtime:        34 * r.Jitter(0.1),
+		PeakMemory:     0.9 * units.GiB,
+		Inputs:         laneMaps,
+		Outputs:        []*workflow.File{merged},
+	})
+
+	index := w.File("chr21.map.idx", 40*units.MB)
+	w.AddTask(&workflow.Task{
+		ID:             "maqIndex",
+		Transformation: "maqIndex",
+		Runtime:        17 * r.Jitter(0.1),
+		PeakMemory:     0.8 * units.GiB,
+		Inputs:         []*workflow.File{merged},
+		Outputs:        []*workflow.File{index},
+	})
+
+	pileup := w.File("chr21.pileup", 52*units.MB)
+	pileup.Keep = true
+	w.AddTask(&workflow.Task{
+		ID:             "pileup",
+		Transformation: "pileup",
+		Runtime:        47 * r.Jitter(0.1),
+		PeakMemory:     1.0 * units.GiB,
+		Inputs:         []*workflow.File{merged, index},
+		Outputs:        []*workflow.File{pileup},
+	})
+
+	density := w.File("chr21.density", 6*units.MB)
+	w.AddTask(&workflow.Task{
+		ID:             "density",
+		Transformation: "density",
+		Runtime:        24 * r.Jitter(0.1),
+		PeakMemory:     0.5 * units.GiB,
+		Inputs:         []*workflow.File{pileup},
+		Outputs:        []*workflow.File{density},
+	})
+
+	report := w.File("chr21.qc.html", 2*units.MB)
+	w.AddTask(&workflow.Task{
+		ID:             "qcReport",
+		Transformation: "qcReport",
+		Runtime:        8.5 * r.Jitter(0.1),
+		PeakMemory:     0.3 * units.GiB,
+		Inputs:         []*workflow.File{pileup},
+		Outputs:        []*workflow.File{report},
+	})
+
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// MontageConfig parameterizes the Montage mosaic workflow. The zero value
+// is the paper's 8-degree-square configuration: 10,429 tasks, 4.2 GB in,
+// 7.9 GB out, ~29,000 small-file accesses.
+type MontageConfig struct {
+	// Degrees is the square mosaic's edge in degrees of sky. "The size of
+	// a Montage workflow depends upon the area of the sky covered by the
+	// output mosaic": the input image count scales with the area, and the
+	// paper's 8-degree mosaic projects 2,085 2MASS images (~32.6 images
+	// per square degree). Ignored when Images is set explicitly.
+	Degrees float64
+	// Images is the number of input images (mProject count), overriding
+	// Degrees.
+	Images int
+	// OverlapsPerImage is the number of overlap pairs fitted per image
+	// (mDiffFit count = Images * OverlapsPerImage).
+	OverlapsPerImage int
+	// Seed drives runtime jitter.
+	Seed uint64
+}
+
+// imagesPerSquareDegree is the 2MASS tile density that puts the 8-degree
+// mosaic at the paper's 2,085 images.
+const imagesPerSquareDegree = 2085.0 / 64.0
+
+func (c *MontageConfig) defaults() {
+	if c.Images == 0 {
+		if c.Degrees > 0 {
+			c.Images = int(c.Degrees*c.Degrees*imagesPerSquareDegree + 0.5)
+		} else {
+			c.Images = 2085
+		}
+	}
+	if c.OverlapsPerImage == 0 {
+		c.OverlapsPerImage = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xA57C0
+	}
+}
+
+// Montage builds the astronomy mosaicking workflow:
+//
+//	mProject x N    reproject each input image        (2.0 MB -> 4.2+0.8 MB)
+//	mDiffFit x 3N   fit overlap differences           (2 proj -> 50 KB)
+//	mConcatFit x 1  concatenate all fits
+//	mBgModel x 1    solve the background model
+//	mBackground x N apply corrections                 (proj -> 3.1 MB, kept)
+//	mImgtbl x 1     build the image table
+//	mAdd x 1        co-add into the final mosaic      (all corrected -> 1.4 GB)
+//
+// With the default N=2085 this is 10,429 tasks. Montage is I/O-bound: the
+// per-task computation is small relative to the file traffic, and the
+// workflow touches tens of thousands of MB-scale files, the regime the
+// paper identifies as hard on S3 and PVFS.
+func Montage(cfg MontageConfig) (*workflow.Workflow, error) {
+	cfg.defaults()
+	if cfg.Images < 2 {
+		return nil, fmt.Errorf("montage: need at least 2 images, got %d", cfg.Images)
+	}
+	r := rng.New(cfg.Seed)
+	w := workflow.New("montage")
+	n := cfg.Images
+
+	hdr := w.File("region.hdr", 1*units.KB)
+
+	// mProject: one per input image.
+	projTasks := make([]*workflow.Task, n)
+	proj := make([]*workflow.File, n)
+	area := make([]*workflow.File, n)
+	for i := 0; i < n; i++ {
+		raw := w.File(fmt.Sprintf("2mass-%04d.fits", i), 2.0*units.MB)
+		proj[i] = w.File(fmt.Sprintf("p-%04d.fits", i), 4.2*units.MB)
+		area[i] = w.File(fmt.Sprintf("p-%04d-area.fits", i), 0.8*units.MB)
+		projTasks[i] = w.AddTask(&workflow.Task{
+			ID:             fmt.Sprintf("mProject-%04d", i),
+			Transformation: "mProject",
+			Runtime:        5.6 * r.Jitter(0.2),
+			PeakMemory:     160 * units.MB,
+			Inputs:         []*workflow.File{raw, hdr},
+			Outputs:        []*workflow.File{proj[i], area[i]},
+		})
+	}
+
+	// mDiffFit: one per overlapping pair (ring topology with k-nearest
+	// neighbours, matching the plane-sweep overlap structure).
+	var fits []*workflow.File
+	for i := 0; i < n; i++ {
+		for k := 1; k <= cfg.OverlapsPerImage; k++ {
+			j := (i + k) % n
+			fit := w.File(fmt.Sprintf("fit-%04d-%04d.txt", i, j), 50*units.KB)
+			fits = append(fits, fit)
+			w.AddTask(&workflow.Task{
+				ID:             fmt.Sprintf("mDiffFit-%04d-%04d", i, j),
+				Transformation: "mDiffFit",
+				Runtime:        1.4 * r.Jitter(0.2),
+				PeakMemory:     120 * units.MB,
+				Inputs:         []*workflow.File{proj[i], proj[j]},
+				Outputs:        []*workflow.File{fit},
+			})
+		}
+	}
+
+	// mConcatFit: gather every fit into one table.
+	statfit := w.File("statfit.tbl", 4*units.MB)
+	w.AddTask(&workflow.Task{
+		ID:             "mConcatFit",
+		Transformation: "mConcatFit",
+		Runtime:        72 * r.Jitter(0.1),
+		PeakMemory:     300 * units.MB,
+		Inputs:         fits,
+		Outputs:        []*workflow.File{statfit},
+	})
+
+	// mBgModel: solve for per-image background corrections.
+	corrections := w.File("corrections.tbl", 1*units.MB)
+	w.AddTask(&workflow.Task{
+		ID:             "mBgModel",
+		Transformation: "mBgModel",
+		Runtime:        88 * r.Jitter(0.1),
+		PeakMemory:     400 * units.MB,
+		Inputs:         []*workflow.File{statfit},
+		Outputs:        []*workflow.File{corrections},
+	})
+
+	// mBackground: apply the correction to each projected image. The
+	// corrected images are deliverables (part of the 7.9 GB output) even
+	// though mAdd also consumes them.
+	corr := make([]*workflow.File, n)
+	bgTasks := make([]*workflow.Task, n)
+	for i := 0; i < n; i++ {
+		corr[i] = w.File(fmt.Sprintf("c-%04d.fits", i), 3.1*units.MB)
+		corr[i].Keep = true
+		bgTasks[i] = w.AddTask(&workflow.Task{
+			ID:             fmt.Sprintf("mBackground-%04d", i),
+			Transformation: "mBackground",
+			Runtime:        1.2 * r.Jitter(0.2),
+			PeakMemory:     120 * units.MB,
+			Inputs:         []*workflow.File{proj[i], area[i], corrections},
+			Outputs:        []*workflow.File{corr[i]},
+		})
+	}
+
+	// mImgtbl: scan the corrected images' headers (metadata only, so no
+	// data inputs; ordering is enforced with control edges).
+	newtbl := w.File("images.tbl", 1*units.MB)
+	imgtbl := w.AddTask(&workflow.Task{
+		ID:             "mImgtbl",
+		Transformation: "mImgtbl",
+		Runtime:        24 * r.Jitter(0.1),
+		PeakMemory:     150 * units.MB,
+		Outputs:        []*workflow.File{newtbl},
+	})
+	for _, bt := range bgTasks {
+		w.AddDependency(bt, imgtbl)
+	}
+
+	// mAdd: co-add every corrected image into the mosaic.
+	mosaic := w.File("mosaic.fits", 1.1*units.GB)
+	mosaicArea := w.File("mosaic-area.fits", 0.3*units.GB)
+	addInputs := append([]*workflow.File{newtbl, hdr}, corr...)
+	w.AddTask(&workflow.Task{
+		ID:             "mAdd",
+		Transformation: "mAdd",
+		Runtime:        260 * r.Jitter(0.1),
+		PeakMemory:     1.2 * units.GiB,
+		Inputs:         addInputs,
+		Outputs:        []*workflow.File{mosaic, mosaicArea},
+	})
+
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,74 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/units"
+)
+
+func TestAmortizeSharedNeverCostsMore(t *testing.T) {
+	c := testCluster(t, 2)
+	for _, mk := range []float64{600, 1800, 3599, 3601, 5400, 9000} {
+		for _, k := range []int{1, 2, 5, 10} {
+			a := Amortize(c, mk, storage.Stats{}, k)
+			if a.SharedTotal > a.SeparateTotal+1e-9 {
+				t.Errorf("mk=%.0f k=%d: shared $%.2f > separate $%.2f", mk, k, a.SharedTotal, a.SeparateTotal)
+			}
+			if a.PerSecondTotal > a.SharedTotal+1e-9 {
+				t.Errorf("mk=%.0f k=%d: per-second $%.2f > shared $%.2f (granularity can only add cost)",
+					mk, k, a.PerSecondTotal, a.SharedTotal)
+			}
+		}
+	}
+}
+
+// The paper's example case: a sub-hour workflow wastes most of its billed
+// hour; five in a row waste it once.
+func TestAmortizeSubHourWorkflows(t *testing.T) {
+	c := testCluster(t, 2) // 2 x $0.68/h
+	a := Amortize(c, 1200, storage.Stats{}, 5)
+	// Separate: 5 runs x 1h x 2 nodes = $6.80. Shared: 5x1200s = 100 min
+	// -> 2 h x 2 nodes = $2.72.
+	if math.Abs(a.SeparateTotal-6.80) > 1e-9 {
+		t.Errorf("separate = $%.2f, want $6.80", a.SeparateTotal)
+	}
+	if math.Abs(a.SharedTotal-2.72) > 1e-9 {
+		t.Errorf("shared = $%.2f, want $2.72", a.SharedTotal)
+	}
+	if s := a.Savings(); s < 0.59 || s > 0.61 {
+		t.Errorf("savings = %.2f, want 0.60", s)
+	}
+}
+
+func TestAmortizeRequestFeesAccruePerRun(t *testing.T) {
+	c := testCluster(t, 1)
+	st := storage.Stats{Puts: 1000} // $0.01 per run
+	a := Amortize(c, 1200, st, 10)
+	base := Amortize(c, 1200, storage.Stats{}, 10)
+	if got := a.SharedTotal - base.SharedTotal; math.Abs(got-0.10) > 1e-9 {
+		t.Errorf("10 runs of request fees = $%.4f, want $0.10", got)
+	}
+}
+
+func TestAmortizeOneRunDegenerates(t *testing.T) {
+	c := testCluster(t, 4)
+	a := Amortize(c, 2000, storage.Stats{}, 1)
+	single := Compute(c, 2000, storage.Stats{}, PerHour).Total()
+	if math.Abs(a.SeparateTotal-single) > 1e-9 || math.Abs(a.SharedTotal-single) > 1e-9 {
+		t.Errorf("k=1: separate $%.2f / shared $%.2f, want both $%.2f", a.SeparateTotal, a.SharedTotal, single)
+	}
+	if a.Savings() != 0 {
+		t.Errorf("k=1 savings = %g, want 0", a.Savings())
+	}
+}
+
+func TestAmortizeHourMultipleNoSavings(t *testing.T) {
+	c := testCluster(t, 2)
+	// Exactly 1-hour workflows leave nothing to amortize.
+	a := Amortize(c, units.Hour, storage.Stats{}, 4)
+	if a.Savings() > 1e-9 {
+		t.Errorf("hour-aligned workflows saved %.2f%%, want 0", a.Savings()*100)
+	}
+}

@@ -1,0 +1,92 @@
+// Package cost implements the paper's Section VI cost model: EC2 resource
+// charges under the real per-hour billing (partial hours rounded up) and
+// the hypothetical per-second billing the paper uses for comparison, plus
+// Amazon's S3 request and storage fees.
+//
+// 2010 price book (stated in or implied by the paper):
+//
+//	c1.xlarge   $0.68/hour
+//	m1.xlarge   $0.68/hour  (the "extra cost of $0.68 per workflow" NFS node)
+//	m2.4xlarge  $2.40/hour
+//	S3 PUT      $0.01 per 1,000 requests
+//	S3 GET      $0.01 per 10,000 requests
+//	S3 storage  $0.15 per GB-month (negligible for these runs: << $0.01)
+package cost
+
+import (
+	"math"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/units"
+)
+
+// S3 fee schedule.
+const (
+	S3PutPer1000    = 0.01
+	S3GetPer10000   = 0.01
+	S3GBMonth       = 0.15
+	secondsPerMonth = 30 * 24 * units.Hour
+)
+
+// Billing selects how resource-hours convert to dollars.
+type Billing int
+
+// The paper compares Amazon's actual hourly billing (rounded up) against
+// hypothetical per-second charging.
+const (
+	PerHour Billing = iota
+	PerSecond
+)
+
+func (b Billing) String() string {
+	if b == PerHour {
+		return "per-hour"
+	}
+	return "per-second"
+}
+
+// Breakdown itemizes a workflow's cost.
+type Breakdown struct {
+	Billing  Billing
+	Makespan float64 // seconds billed
+
+	ResourceCost float64 // worker + service node charges
+	RequestCost  float64 // S3 PUT/GET fees
+	StorageCost  float64 // S3 GB-month fees over the run
+
+	NodeHours float64 // billed instance-hours
+}
+
+// Total returns the all-in cost.
+func (b Breakdown) Total() float64 {
+	return b.ResourceCost + b.RequestCost + b.StorageCost
+}
+
+// Compute prices one workflow execution: every cluster node (workers plus
+// any dedicated service node, which is how NFS picks up its $0.68
+// disadvantage) is billed for the makespan, and S3 request counters from
+// the storage stats convert to fees.
+func Compute(c *cluster.Cluster, makespan float64, st storage.Stats, billing Billing) Breakdown {
+	b := Breakdown{Billing: billing, Makespan: makespan}
+	for _, n := range c.AllNodes() {
+		var hours float64
+		switch billing {
+		case PerHour:
+			hours = math.Ceil(makespan / units.Hour)
+			if makespan > 0 && hours == 0 {
+				hours = 1
+			}
+		case PerSecond:
+			hours = makespan / units.Hour
+		}
+		b.NodeHours += hours
+		b.ResourceCost += hours * n.Type.PricePerHour
+	}
+	b.RequestCost = float64(st.Puts)/1000*S3PutPer1000 + float64(st.Gets)/10000*S3GetPer10000
+	// Data resident in S3 for the duration of the run (uploads dominate;
+	// the paper notes this is far below a cent).
+	gbMonths := st.BytesUploaded / units.GB * (makespan / secondsPerMonth)
+	b.StorageCost = gbMonths * S3GBMonth
+	return b
+}

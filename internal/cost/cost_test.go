@@ -1,0 +1,114 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/units"
+)
+
+func testCluster(t *testing.T, workers int, extra ...cluster.InstanceType) *cluster.Cluster {
+	t.Helper()
+	e := sim.NewEngine()
+	c, err := cluster.New(e, flow.NewNet(e), rng.New(1), cluster.Config{
+		Workers: workers, WorkerType: cluster.C1XLarge(), Extra: extra,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestPerHourRoundsUp(t *testing.T) {
+	c := testCluster(t, 2)
+	// 30 minutes bills a full hour per node: 2 x $0.68.
+	b := Compute(c, 1800, storage.Stats{}, PerHour)
+	approx(t, b.ResourceCost, 1.36, 1e-9, "2 nodes, 30 min, hourly")
+	if b.NodeHours != 2 {
+		t.Errorf("NodeHours = %g, want 2", b.NodeHours)
+	}
+	// 61 minutes bills two hours per node.
+	b = Compute(c, 3660, storage.Stats{}, PerHour)
+	approx(t, b.ResourceCost, 2.72, 1e-9, "2 nodes, 61 min, hourly")
+}
+
+func TestPerSecondProRates(t *testing.T) {
+	c := testCluster(t, 2)
+	b := Compute(c, 1800, storage.Stats{}, PerSecond)
+	approx(t, b.ResourceCost, 0.68, 1e-9, "2 nodes, 30 min, per-second")
+}
+
+// "Per second charges are what the experiments would cost if Amazon
+// charged per second" — never more than the hourly bill.
+func TestPerSecondNeverExceedsPerHour(t *testing.T) {
+	c := testCluster(t, 4, cluster.M1XLarge())
+	for _, mk := range []float64{1, 600, 3599, 3600, 3601, 7300, 86400} {
+		ph := Compute(c, mk, storage.Stats{}, PerHour).Total()
+		ps := Compute(c, mk, storage.Stats{}, PerSecond).Total()
+		if ps > ph+1e-9 {
+			t.Errorf("makespan %.0f: per-second %.4f > per-hour %.4f", mk, ps, ph)
+		}
+	}
+}
+
+// The paper: the dedicated NFS node "results in an extra cost of $0.68
+// per workflow for all applications" (sub-hour runs).
+func TestNFSExtraNodeCostsSixtyEightCents(t *testing.T) {
+	plain := testCluster(t, 2)
+	nfs := testCluster(t, 2, cluster.M1XLarge())
+	mk := 2500.0 // sub-hour
+	diff := Compute(nfs, mk, storage.Stats{}, PerHour).Total() - Compute(plain, mk, storage.Stats{}, PerHour).Total()
+	approx(t, diff, 0.68, 1e-9, "NFS dedicated-node surcharge")
+}
+
+// The paper: S3 request fees add $0.28 for Montage-scale request counts
+// and ~$0.01-0.02 for the others.
+func TestS3RequestFees(t *testing.T) {
+	c := testCluster(t, 1)
+	// Montage-like: ~24k PUTs, ~40k GETs -> 24k/1000*.01 + 40k/10000*.01
+	st := storage.Stats{Puts: 24000, Gets: 40000}
+	b := Compute(c, 1000, st, PerHour)
+	approx(t, b.RequestCost, 0.28, 1e-9, "Montage-scale S3 request fees")
+	// Epigenome-like: ~700 PUTs, ~1500 GETs -> about a cent.
+	st = storage.Stats{Puts: 700, Gets: 1500}
+	b = Compute(c, 1000, st, PerHour)
+	if b.RequestCost < 0.005 || b.RequestCost > 0.02 {
+		t.Errorf("Epigenome-scale request fees = %.4f, want ~$0.01", b.RequestCost)
+	}
+}
+
+// "the storage cost is insignificant for the applications tested (<< $0.01)"
+func TestS3StorageCostNegligible(t *testing.T) {
+	c := testCluster(t, 1)
+	st := storage.Stats{BytesUploaded: 8 * units.GB}
+	b := Compute(c, units.Hour, st, PerHour)
+	if b.StorageCost >= 0.01 {
+		t.Errorf("storage cost = %.4f, want << $0.01", b.StorageCost)
+	}
+}
+
+func TestZeroMakespanZeroCost(t *testing.T) {
+	c := testCluster(t, 1)
+	b := Compute(c, 0, storage.Stats{}, PerHour)
+	if b.Total() != 0 {
+		t.Errorf("zero-makespan cost = %g, want 0", b.Total())
+	}
+}
+
+func TestBillingString(t *testing.T) {
+	if PerHour.String() != "per-hour" || PerSecond.String() != "per-second" {
+		t.Error("Billing.String() labels wrong")
+	}
+}

@@ -1,0 +1,350 @@
+// Package flow implements max-min fair sharing of capacity resources
+// among concurrent bulk transfers, integrated with the sim engine.
+//
+// A Transfer moves a number of bytes across a set of Resources (for
+// example: source disk read, source NIC out, destination NIC in,
+// destination disk write). At any instant each active transfer receives a
+// rate determined by progressive filling (water-filling): the most
+// contended resource is saturated first, its flows are fixed at their fair
+// share, and the algorithm recurses on the remaining capacity. This is the
+// standard fluid approximation for TCP fair share and for disk bandwidth
+// sharing, and it is what makes "N clients hammering one NFS server" come
+// out N times slower, automatically.
+//
+// The network recomputes the allocation whenever a transfer starts or
+// finishes, so rates are piecewise constant and completions are exact.
+package flow
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/sim"
+)
+
+// completionEps is the residual byte count below which a transfer is
+// considered complete. It absorbs float64 rounding in rate integration:
+// for a terabyte-scale transfer the residue of remaining - rate*dt is on
+// the order of 1e-4 bytes, so half a byte is both physically meaningless
+// and numerically safe. (A smaller epsilon can livelock: the rescheduled
+// completion delta underflows the clock's ULP and time stops advancing.)
+const completionEps = 0.5
+
+// Resource is a capacity (bytes/second) shared by transfers. Resources are
+// created once (per NIC, per disk channel, ...) and passed to Transfer.
+type Resource struct {
+	name     string
+	capacity float64
+
+	// scratch state used during reallocation
+	epoch    int64
+	residual float64
+	count    int
+
+	// current committed allocation, for utilization queries
+	load float64
+}
+
+// NewResource returns a resource with the given capacity in bytes/second.
+// Capacity must be positive: a zero-capacity resource would block forever.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("flow: resource %q with non-positive capacity %g", name, capacity))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity in bytes/second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Load returns the rate currently allocated across this resource.
+func (r *Resource) Load() float64 { return r.load }
+
+// Utilization returns Load/Capacity in [0,1].
+func (r *Resource) Utilization() float64 { return r.load / r.capacity }
+
+// transfer is one in-flight bulk movement.
+type transfer struct {
+	pending   *Pending
+	remaining float64
+	rate      float64
+	resources []*Resource
+	fixed     bool
+	id        int64
+}
+
+// Pending is a handle to an asynchronous transfer started with
+// StartTransfer. Multiple processes may Wait on it; they all resume when
+// the transfer completes.
+type Pending struct {
+	e       *sim.Engine
+	done    bool
+	waiters []*sim.Proc
+}
+
+// Done reports whether the transfer has completed.
+func (pd *Pending) Done() bool { return pd.done }
+
+// Wait blocks p until the transfer completes.
+func (pd *Pending) Wait(p *sim.Proc) {
+	if pd.done {
+		return
+	}
+	pd.waiters = append(pd.waiters, p)
+	p.Suspend()
+}
+
+func (pd *Pending) complete() {
+	pd.done = true
+	for _, p := range pd.waiters {
+		p.Resume()
+	}
+	pd.waiters = nil
+}
+
+// Net manages the set of active transfers over a shared resource pool.
+type Net struct {
+	e          *sim.Engine
+	active     []*transfer
+	timer      *sim.Timer
+	lastUpdate float64
+	epoch      int64
+	nextID     int64
+
+	// Stats.
+	TotalBytes     float64
+	TotalTransfers int64
+}
+
+// NewNet returns an empty transfer network bound to the engine.
+func NewNet(e *sim.Engine) *Net {
+	return &Net{e: e}
+}
+
+// Active returns the number of in-flight transfers.
+func (n *Net) Active() int { return len(n.active) }
+
+// SetResourceCapacity changes a resource's capacity and immediately
+// reallocates rates. It is used to model disk initialization (the
+// first-write penalty disappearing) mid-simulation.
+func (n *Net) SetResourceCapacity(r *Resource, capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("flow: setting non-positive capacity %g on %q", capacity, r.name))
+	}
+	n.advance()
+	r.capacity = capacity
+	n.reallocate()
+	n.scheduleNext()
+}
+
+// Transfer moves size bytes across the given resources, blocking p until
+// the transfer completes. A transfer of zero (or negative) size returns
+// immediately. At least one resource is required.
+func (n *Net) Transfer(p *sim.Proc, size float64, resources ...*Resource) {
+	if size <= 0 {
+		return
+	}
+	n.StartTransfer(size, resources...).Wait(p)
+}
+
+// StartTransfer begins moving size bytes across the given resources
+// without blocking, returning a handle the caller (or several callers) can
+// Wait on. It is the building block for striped I/O, where one logical
+// read fans out over every server in parallel.
+func (n *Net) StartTransfer(size float64, resources ...*Resource) *Pending {
+	pd := &Pending{e: n.e}
+	if size <= 0 {
+		pd.done = true
+		return pd
+	}
+	if len(resources) == 0 {
+		panic("flow: transfer with no resources")
+	}
+	// Deduplicate resources so a transfer that lists the same resource
+	// twice does not double-count itself during water-filling.
+	uniq := resources[:0:0]
+	for _, r := range resources {
+		if r == nil {
+			panic("flow: nil resource in transfer")
+		}
+		seen := false
+		for _, u := range uniq {
+			if u == r {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			uniq = append(uniq, r)
+		}
+	}
+	n.nextID++
+	t := &transfer{pending: pd, remaining: size, resources: uniq, id: n.nextID}
+	n.TotalBytes += size
+	n.TotalTransfers++
+
+	n.advance()
+	n.active = append(n.active, t)
+	n.reallocate()
+	n.scheduleNext()
+	return pd
+}
+
+// TransferCapped is Transfer with a per-flow rate ceiling, modeled as a
+// private resource (e.g. a single S3 connection cannot exceed ~25 MB/s
+// regardless of NIC headroom).
+func (n *Net) TransferCapped(p *sim.Proc, size, maxRate float64, resources ...*Resource) {
+	if size <= 0 {
+		return
+	}
+	cap := NewResource("flowcap", maxRate)
+	n.Transfer(p, size, append([]*Resource{cap}, resources...)...)
+}
+
+// advance integrates progress up to the current time.
+func (n *Net) advance() {
+	now := n.e.Now()
+	dt := now - n.lastUpdate
+	n.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, t := range n.active {
+		t.remaining -= t.rate * dt
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+// reallocate recomputes the max-min fair rate for every active transfer.
+func (n *Net) reallocate() {
+	n.epoch++
+	// Collect the resource set touched by active flows, resetting scratch
+	// state lazily via the epoch counter.
+	var resources []*Resource
+	for _, t := range n.active {
+		t.fixed = false
+		t.rate = 0
+		for _, r := range t.resources {
+			if r.epoch != n.epoch {
+				r.epoch = n.epoch
+				r.residual = r.capacity
+				r.count = 0
+				r.load = 0
+				resources = append(resources, r)
+			}
+			r.count++
+		}
+	}
+	unfixed := len(n.active)
+	for unfixed > 0 {
+		// Find the bottleneck resource: minimum fair share among resources
+		// still serving unfixed flows.
+		var bottleneck *Resource
+		bestShare := 0.0
+		for _, r := range resources {
+			if r.count <= 0 {
+				continue
+			}
+			share := r.residual / float64(r.count)
+			if bottleneck == nil || share < bestShare {
+				bottleneck = r
+				bestShare = share
+			}
+		}
+		if bottleneck == nil {
+			panic("flow: unfixed transfers with no remaining resources")
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		// Fix every unfixed flow crossing the bottleneck at the fair share.
+		for _, t := range n.active {
+			if t.fixed {
+				continue
+			}
+			uses := false
+			for _, r := range t.resources {
+				if r == bottleneck {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			t.rate = bestShare
+			t.fixed = true
+			unfixed--
+			for _, r := range t.resources {
+				r.residual -= bestShare
+				if r.residual < 0 {
+					r.residual = 0
+				}
+				r.count--
+				r.load += bestShare
+			}
+		}
+	}
+}
+
+// scheduleNext arms the timer for the earliest completion.
+func (n *Net) scheduleNext() {
+	if n.timer != nil {
+		n.timer.Stop()
+		n.timer = nil
+	}
+	if len(n.active) == 0 {
+		return
+	}
+	next := -1.0
+	for _, t := range n.active {
+		if t.remaining <= completionEps {
+			next = 0
+			break
+		}
+		if t.rate <= 0 {
+			// Starved flow: another completion will free capacity; if none
+			// exists the simulation will deadlock-panic, which is correct
+			// (it means resources were overcommitted by construction).
+			continue
+		}
+		eta := t.remaining / t.rate
+		if next < 0 || eta < next {
+			next = eta
+		}
+	}
+	if next < 0 {
+		panic("flow: all active transfers starved")
+	}
+	n.timer = n.e.After(next, n.onTimer)
+}
+
+// onTimer completes finished transfers and re-plans.
+func (n *Net) onTimer() {
+	n.timer = nil
+	n.advance()
+	remaining := n.active[:0]
+	var done []*transfer
+	for _, t := range n.active {
+		if t.remaining <= completionEps {
+			done = append(done, t)
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	n.active = remaining
+	for _, t := range done {
+		t.pending.complete()
+	}
+	if len(n.active) > 0 {
+		n.reallocate()
+		n.scheduleNext()
+	} else {
+		// Clear loads on the resources we last touched.
+		n.reallocate()
+	}
+}

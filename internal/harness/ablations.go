@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/disk"
+	"ec2wfsim/internal/report"
+	"ec2wfsim/internal/units"
+)
+
+// diskSingle and diskRAID0x4 expose the disk profiles for reports.
+func diskSingle() disk.Profile  { return disk.EphemeralSingle() }
+func diskRAID0x4() disk.Profile { return disk.RAID0(disk.EphemeralSingle(), 4) }
+
+// AblationResult pairs a configuration label with its cell.
+type AblationResult struct {
+	Label  string
+	Result *RunResult
+}
+
+// Ablation runs one of the named ablation experiments from DESIGN.md.
+func Ablation(name string) ([]AblationResult, string, error) {
+	switch name {
+	case "xtreemfs":
+		return ablateXtreemFS()
+	case "s3cache":
+		return ablateS3Cache()
+	case "locality":
+		return ablateLocality()
+	case "nfssync":
+		return ablateNFSSync()
+	case "nfsserver":
+		return ablateNFSServer()
+	case "diskinit":
+		return ablateDiskInit()
+	case "workertype":
+		return ablateWorkerType()
+	default:
+		return nil, "", fmt.Errorf("harness: unknown ablation %q (want xtreemfs, s3cache, locality, nfssync, nfsserver, diskinit or workertype)", name)
+	}
+}
+
+// AblationNames lists the available ablation experiments.
+func AblationNames() []string {
+	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype"}
+}
+
+// ablateWorkerType checks the paper's Section III.B premise: "we found
+// that the c1.xlarge type delivers the best overall performance for the
+// applications considered here". Same dollar budget, different shapes:
+// 4 c1.xlarge ($2.72/h) vs 4 m1.xlarge ($2.72/h) vs 8 m1.large ($2.72/h).
+func ablateWorkerType() ([]AblationResult, string, error) {
+	configs := []struct {
+		label      string
+		workerType string
+		workers    int
+	}{
+		{"4 x c1.xlarge (paper)", "c1.xlarge", 4},
+		{"4 x m1.xlarge", "m1.xlarge", 4},
+		{"8 x m1.large", "m1.large", 8},
+	}
+	var results []AblationResult
+	for _, app := range []string{"montage", "epigenome", "broadband"} {
+		for _, cfg := range configs {
+			r, err := Run(RunConfig{
+				App:        app,
+				Storage:    "gluster-nufa",
+				Workers:    cfg.workers,
+				WorkerType: cfg.workerType,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			results = append(results, AblationResult{Label: app + ": " + cfg.label, Result: r})
+		}
+	}
+	return results, renderAblation("§III.B premise: worker instance type at equal hourly budget ($2.72/h of workers, GlusterFS NUFA)", results), nil
+}
+
+// ablateXtreemFS reproduces the paper's Section IV note: workflows on
+// XtreemFS took more than twice as long as on the systems reported.
+func ablateXtreemFS() ([]AblationResult, string, error) {
+	results := []AblationResult{}
+	for _, sys := range []string{"gluster-nufa", "nfs", "xtreemfs"} {
+		r, err := Run(RunConfig{App: "montage", Storage: sys, Workers: 2})
+		if err != nil {
+			return nil, "", err
+		}
+		results = append(results, AblationResult{Label: sys, Result: r})
+	}
+	return results, renderAblation("E-X1: Montage on XtreemFS vs reported systems (2 nodes)", results), nil
+}
+
+// ablateS3Cache reproduces the S3 client-cache effect on Broadband
+// (Section IV.A / V.C: caching is what makes S3 win for Broadband).
+func ablateS3Cache() ([]AblationResult, string, error) {
+	results := []AblationResult{}
+	for _, sys := range []string{"s3", "s3-nocache"} {
+		r, err := Run(RunConfig{App: "broadband", Storage: sys, Workers: 4})
+		if err != nil {
+			return nil, "", err
+		}
+		results = append(results, AblationResult{Label: sys, Result: r})
+	}
+	return results, renderAblation("A-1: Broadband on S3 with and without the client cache (4 nodes)", results), nil
+}
+
+// ablateLocality implements the paper's future-work suggestion: a
+// data-aware scheduler raising cache hits and cutting transfers.
+func ablateLocality() ([]AblationResult, string, error) {
+	results := []AblationResult{}
+	for _, aware := range []bool{false, true} {
+		label := "fifo (paper)"
+		if aware {
+			label = "data-aware"
+		}
+		r, err := Run(RunConfig{App: "broadband", Storage: "gluster-nufa", Workers: 4, DataAware: aware})
+		if err != nil {
+			return nil, "", err
+		}
+		results = append(results, AblationResult{Label: label, Result: r})
+	}
+	return results, renderAblation("A-2: Broadband on GlusterFS NUFA, locality-blind vs data-aware scheduling (4 nodes)", results), nil
+}
+
+// ablateNFSSync quantifies the async export option (Section IV.B).
+func ablateNFSSync() ([]AblationResult, string, error) {
+	results := []AblationResult{}
+	for _, sys := range []string{"nfs", "nfs-sync"} {
+		r, err := Run(RunConfig{App: "montage", Storage: sys, Workers: 2})
+		if err != nil {
+			return nil, "", err
+		}
+		results = append(results, AblationResult{Label: sys, Result: r})
+	}
+	return results, renderAblation("A-4: Montage on NFS, async vs sync exports (2 nodes)", results), nil
+}
+
+// ablateNFSServer reproduces the Broadband big-server experiment
+// (Section V.C: m2.4xlarge 4368 s vs m1.xlarge 5363 s at 4 nodes).
+func ablateNFSServer() ([]AblationResult, string, error) {
+	results := []AblationResult{}
+	for _, sys := range []string{"nfs", "nfs-m2.4xlarge"} {
+		r, err := Run(RunConfig{App: "broadband", Storage: sys, Workers: 4})
+		if err != nil {
+			return nil, "", err
+		}
+		results = append(results, AblationResult{Label: sys, Result: r})
+	}
+	return results, renderAblation("A-3: Broadband NFS server size at 4 nodes (paper: 5363 s vs 4368 s)", results), nil
+}
+
+// ablateDiskInit tests Amazon's suggested first-write mitigation: is
+// zero-initializing the disks worth it for a single Montage run? (The
+// paper argues no: zeroing 50 GB takes as long as the workflow.)
+func ablateDiskInit() ([]AblationResult, string, error) {
+	results := []AblationResult{}
+	for _, init := range []bool{false, true} {
+		label := "uninitialized (paper)"
+		if init {
+			label = "zero-initialized 50 GB"
+		}
+		r, err := Run(RunConfig{
+			App: "montage", Storage: "local", Workers: 1,
+			InitializeDisks: init, InitializeBytes: 50 * units.GB,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if init {
+			// Charge the initialization time against the run: the paper's
+			// economic argument is about total occupancy.
+			r.Makespan += r.ProvisionTime
+		}
+		results = append(results, AblationResult{Label: label, Result: r})
+	}
+	return results, renderAblation("A-6: Montage local disk with and without zero-initialization (1 node; init time charged)", results), nil
+}
+
+func renderAblation(title string, results []AblationResult) string {
+	t := &report.Table{
+		Title:  title,
+		Header: []string{"Configuration", "Makespan", "Cost/hr", "Cost/sec", "Net bytes", "Cache hits"},
+	}
+	for _, ar := range results {
+		r := ar.Result
+		t.AddRow(ar.Label,
+			units.Duration(r.Makespan),
+			units.USD(r.CostHour.Total()),
+			units.USD(r.CostSecond.Total()),
+			units.Bytes(r.Stats.NetworkBytes),
+			fmt.Sprintf("%d", r.Stats.CacheHits),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/report"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/wfprof"
+)
+
+// appForFigure maps the paper's runtime figures to applications.
+var appForFigure = map[int]string{
+	2: "montage",
+	3: "epigenome",
+	4: "broadband",
+	5: "montage",
+	6: "epigenome",
+	7: "broadband",
+}
+
+// TableI regenerates the paper's application resource-usage comparison.
+func TableI() (*report.Table, error) {
+	t := &report.Table{
+		Title:  "TABLE I — APPLICATION RESOURCE USAGE COMPARISON",
+		Header: []string{"Application", "I/O", "Memory", "CPU"},
+	}
+	for _, name := range []string{"montage", "broadband", "epigenome"} {
+		w, err := apps.PaperScale(name)
+		if err != nil {
+			return nil, err
+		}
+		p := wfprof.Analyze(w)
+		t.AddRow(title(name), p.IOClass.String(), p.MemoryClass.String(), p.CPUClass.String())
+	}
+	return t, nil
+}
+
+// RuntimeFigure regenerates Figure 2, 3 or 4: makespan for the
+// application across storage systems and cluster sizes.
+func RuntimeFigure(fig int) (string, []Cell, error) {
+	app, ok := appForFigure[fig]
+	if !ok || fig > 4 {
+		return "", nil, fmt.Errorf("harness: runtime figures are 2-4, got %d", fig)
+	}
+	cells, err := Grid(app, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	chart := &report.BarChart{
+		Title: fmt.Sprintf("Fig. %d. Performance of %s using different storage systems (makespan, seconds)",
+			fig, title(app)),
+		Unit: "s",
+	}
+	for _, c := range cells {
+		chart.Add(fmt.Sprintf("%s n=%d", c.System, c.Workers), c.Result.Makespan)
+	}
+	return chart.String(), cells, nil
+}
+
+// CostFigure regenerates Figure 5, 6 or 7: per-hour and per-second cost
+// for the application across storage systems and cluster sizes. It reuses
+// the runtime grid (the paper's cost figures are derived from the same
+// runs).
+func CostFigure(fig int, cells []Cell) (string, []Cell, error) {
+	app, ok := appForFigure[fig]
+	if !ok || fig < 5 {
+		return "", nil, fmt.Errorf("harness: cost figures are 5-7, got %d", fig)
+	}
+	if cells == nil {
+		var err error
+		cells, err = Grid(app, nil)
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	var b strings.Builder
+	hour := &report.BarChart{
+		Title: fmt.Sprintf("Fig. %d (top). %s cost assuming per-hour charges ($)", fig, title(app)),
+		Unit:  "$",
+	}
+	sec := &report.BarChart{
+		Title: fmt.Sprintf("Fig. %d (bottom). %s cost assuming per-second charges ($)", fig, title(app)),
+		Unit:  "$",
+	}
+	for _, c := range cells {
+		label := fmt.Sprintf("%s n=%d", c.System, c.Workers)
+		hour.Add(label, c.Result.CostHour.Total())
+		sec.Add(label, c.Result.CostSecond.Total())
+	}
+	b.WriteString(hour.String())
+	b.WriteByte('\n')
+	b.WriteString(sec.String())
+	return b.String(), cells, nil
+}
+
+// DiskBench reproduces the Section III.C ephemeral-disk observations as a
+// table (experiment E-D1).
+func DiskBench() *report.Table {
+	t := &report.Table{
+		Title:  "Section III.C — ephemeral disk characteristics (model values)",
+		Header: []string{"Configuration", "First write", "Subsequent write", "Read", "Zero-init 50 GB"},
+	}
+	add := func(name string, first, steady, read float64) {
+		t.AddRow(name, units.Rate(first), units.Rate(steady), units.Rate(read),
+			units.Duration(50*units.GB/first))
+	}
+	single := diskSingle()
+	raid := diskRAID0x4()
+	add("1 ephemeral disk", single.FirstWrite, single.SteadyWrite, single.Read)
+	add("RAID0 x 4 disks", raid.FirstWrite, raid.SteadyWrite, raid.Read)
+	return t
+}
+
+// title capitalizes an application name for display.
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

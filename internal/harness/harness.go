@@ -1,0 +1,182 @@
+// Package harness defines and runs the paper's experiments: one runner
+// for a single (application x storage x cluster-size) cell, and generators
+// for every table and figure in the evaluation (Table I, Figures 2-7) plus
+// the ablations called out in DESIGN.md.
+package harness
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/cost"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/wms"
+	"ec2wfsim/internal/workflow"
+)
+
+// RunConfig names one experiment cell.
+type RunConfig struct {
+	App     string // montage | broadband | epigenome
+	Storage string // a storage.Names() entry
+	Workers int
+	// WorkerType selects the worker instance type by EC2 name; empty
+	// means the paper's c1.xlarge.
+	WorkerType string
+	// DataAware switches to the locality-aware scheduler (ablation A-2).
+	DataAware bool
+	// Workflow overrides the paper-scale application (used by tests and
+	// benchmarks to run scaled-down instances).
+	Workflow *workflow.Workflow
+	// Seed varies provisioning jitter; 0 means the fixed default.
+	Seed uint64
+	// InitializeDisks zero-fills ephemeral volumes first (ablation A-6).
+	InitializeDisks bool
+	InitializeBytes float64
+}
+
+// RunResult is one cell's outcome.
+type RunResult struct {
+	Config        RunConfig
+	Makespan      float64
+	ProvisionTime float64
+	Utilization   float64
+	MemoryWaits   int64
+	Stats         storage.Stats
+	CostHour      cost.Breakdown
+	CostSecond    cost.Breakdown
+	// Cluster is the provisioned cluster (for follow-up cost analyses
+	// such as amortization over successive workflows).
+	Cluster *cluster.Cluster
+}
+
+// Amortize prices running the same workflow k times in succession on this
+// result's cluster versus k separately provisioned runs (Section VI).
+func (r *RunResult) Amortize(k int) cost.Amortized {
+	return cost.Amortize(r.Cluster, r.Makespan, r.Stats, k)
+}
+
+// Run executes one experiment cell at the requested scale.
+func Run(cfg RunConfig) (*RunResult, error) {
+	w := cfg.Workflow
+	if w == nil {
+		var err error
+		w, err = apps.PaperScale(cfg.App)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sys, err := storage.ByName(cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5EED
+	}
+	workerType, err := cluster.TypeByName(cfg.WorkerType)
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, err := cluster.New(e, net, rng.New(seed), cluster.Config{
+		Workers:         cfg.Workers,
+		WorkerType:      workerType,
+		Extra:           sys.ExtraNodeTypes(),
+		InitializeDisks: cfg.InitializeDisks,
+		InitializeBytes: cfg.InitializeBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &storage.Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(seed + 1)}
+	if err := sys.Init(env); err != nil {
+		return nil, err
+	}
+	res, err := wms.Run(e, wms.Options{Cluster: c, Storage: sys, DataAware: cfg.DataAware}, w)
+	if err != nil {
+		return nil, err
+	}
+	st := sys.Stats()
+	return &RunResult{
+		Config:        cfg,
+		Makespan:      res.Makespan,
+		ProvisionTime: c.ProvisionTime,
+		Utilization:   res.Utilization(c),
+		MemoryWaits:   res.MemoryWaits,
+		Stats:         st,
+		CostHour:      cost.Compute(c, res.Makespan, st, cost.PerHour),
+		CostSecond:    cost.Compute(c, res.Makespan, st, cost.PerSecond),
+		Cluster:       c,
+	}, nil
+}
+
+// NodeCounts is the cluster-size sweep from the paper: "different numbers
+// of resources (1-8 nodes corresponding to 8-64 cores)".
+func NodeCounts() []int { return []int{1, 2, 4, 8} }
+
+// supportsWorkers reports whether the system runs at that scale (GlusterFS
+// and PVFS need two nodes; local disk only one).
+func supportsWorkers(sysName string, workers int) bool {
+	sys, err := storage.ByName(sysName)
+	if err != nil {
+		return false
+	}
+	if workers < sys.MinWorkers() {
+		return false
+	}
+	if sysName == "local" && workers != 1 {
+		return false
+	}
+	return true
+}
+
+// Cell labels an (application, storage, workers) result in a figure grid.
+type Cell struct {
+	System  string
+	Workers int
+	Result  *RunResult
+}
+
+// Grid runs the full sweep of the paper's five systems (plus the local
+// baseline at one node) for an application, reusing pre-built workflows
+// via build so scaled-down instances stay cheap.
+func Grid(app string, build func() (*workflow.Workflow, error)) ([]Cell, error) {
+	systems := append([]string{"local"}, storage.PaperSystems()...)
+	var cells []Cell
+	for _, sysName := range systems {
+		for _, n := range NodeCounts() {
+			if !supportsWorkers(sysName, n) {
+				continue
+			}
+			var w *workflow.Workflow
+			if build != nil {
+				var err error
+				w, err = build()
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err := Run(RunConfig{App: app, Storage: sysName, Workers: n, Workflow: w})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on %s with %d workers: %w", app, sysName, n, err)
+			}
+			cells = append(cells, Cell{System: sysName, Workers: n, Result: res})
+		}
+	}
+	return cells, nil
+}
+
+// Find returns the cell for (system, workers), or nil.
+func Find(cells []Cell, system string, workers int) *Cell {
+	for i := range cells {
+		if cells[i].System == system && cells[i].Workers == workers {
+			return &cells[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,417 @@
+package harness
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Paper-scale grids are a few seconds each; build each application's grid
+// once and share it across the shape tests.
+var (
+	gridOnce sync.Once
+	grids    map[string][]Cell
+	gridErr  error
+)
+
+func paperGrid(t *testing.T, app string) []Cell {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale grids are slow; run without -short")
+	}
+	gridOnce.Do(func() {
+		grids = make(map[string][]Cell)
+		for _, a := range []string{"montage", "epigenome", "broadband"} {
+			cells, err := Grid(a, nil)
+			if err != nil {
+				gridErr = err
+				return
+			}
+			grids[a] = cells
+		}
+	})
+	if gridErr != nil {
+		t.Fatal(gridErr)
+	}
+	return grids[app]
+}
+
+func mkspan(t *testing.T, cells []Cell, system string, workers int) float64 {
+	t.Helper()
+	c := Find(cells, system, workers)
+	if c == nil {
+		t.Fatalf("no cell for %s at %d workers", system, workers)
+	}
+	return c.Result.Makespan
+}
+
+// --- Figure 2: Montage ---
+
+// "GlusterFS seems to handle this workload well, with both the NUFA and
+// distribute modes producing significantly better performance than the
+// other storage systems."
+func TestFig2GlusterBestForMontage(t *testing.T) {
+	cells := paperGrid(t, "montage")
+	for _, n := range []int{2, 4, 8} {
+		for _, mode := range []string{"gluster-nufa", "gluster-dist"} {
+			g := mkspan(t, cells, mode, n)
+			for _, other := range []string{"s3", "nfs", "pvfs"} {
+				o := mkspan(t, cells, other, n)
+				if g >= o {
+					t.Errorf("n=%d: %s (%.0f s) not faster than %s (%.0f s)", n, mode, g, other, o)
+				}
+			}
+		}
+	}
+	// "significantly": at 4+ nodes GlusterFS leads the best non-Gluster
+	// system by >15%.
+	for _, n := range []int{4, 8} {
+		g := mkspan(t, cells, "gluster-nufa", n)
+		best := math.Inf(1)
+		for _, other := range []string{"s3", "nfs", "pvfs"} {
+			if o := mkspan(t, cells, other, n); o < best {
+				best = o
+			}
+		}
+		if g > best*0.85 {
+			t.Errorf("n=%d: GlusterFS lead not significant (%.0f s vs best other %.0f s)", n, g, best)
+		}
+	}
+}
+
+// "NFS does relatively well for Montage, beating even the local disk in
+// the single node case." Our calibration renders the 1-node comparison as
+// a near-tie (within 5%) — see EXPERIMENTS.md for the discussion — and
+// NFS clearly ahead of S3 and PVFS at small scales.
+func TestFig2NFSRelativelyGoodForMontage(t *testing.T) {
+	cells := paperGrid(t, "montage")
+	nfs1 := mkspan(t, cells, "nfs", 1)
+	local := mkspan(t, cells, "local", 1)
+	if nfs1 > local*1.05 {
+		t.Errorf("NFS at 1 node (%.0f s) more than 5%% behind local (%.0f s)", nfs1, local)
+	}
+	for _, n := range []int{1, 2, 4} {
+		nfs := mkspan(t, cells, "nfs", n)
+		if s3 := mkspan(t, cells, "s3", n); nfs >= s3 {
+			t.Errorf("n=%d: NFS (%.0f s) not faster than S3 (%.0f s)", n, nfs, s3)
+		}
+		if n >= 2 {
+			if pvfs := mkspan(t, cells, "pvfs", n); nfs >= pvfs {
+				t.Errorf("n=%d: NFS (%.0f s) not faster than PVFS (%.0f s)", n, nfs, pvfs)
+			}
+		}
+	}
+}
+
+// "The relatively poor performance of S3 and PVFS may be a result of
+// Montage accessing a large number of small files."
+func TestFig2S3AndPVFSWorstForMontage(t *testing.T) {
+	cells := paperGrid(t, "montage")
+	for _, n := range []int{2, 4} {
+		worstOfPair := math.Max(mkspan(t, cells, "s3", n), mkspan(t, cells, "pvfs", n))
+		for _, good := range []string{"gluster-nufa", "gluster-dist", "nfs"} {
+			if g := mkspan(t, cells, good, n); g >= worstOfPair {
+				t.Errorf("n=%d: %s (%.0f s) not faster than the S3/PVFS tier (%.0f s)", n, good, g, worstOfPair)
+			}
+		}
+	}
+	// S3 at one node notably worse than local.
+	if s3, local := mkspan(t, cells, "s3", 1), mkspan(t, cells, "local", 1); s3 < local*1.05 {
+		t.Errorf("S3 at 1 node (%.0f s) should clearly trail local (%.0f s)", s3, local)
+	}
+}
+
+// Runtime falls as nodes are added (Fig 2's downward trend), except NFS
+// whose incast collapse flattens it at 8 nodes.
+func TestFig2MontageScalesWithNodes(t *testing.T) {
+	cells := paperGrid(t, "montage")
+	for _, sys := range []string{"s3", "gluster-nufa", "gluster-dist", "pvfs"} {
+		prev := math.Inf(1)
+		for _, n := range []int{2, 4, 8} {
+			m := mkspan(t, cells, sys, n)
+			if m >= prev {
+				t.Errorf("%s: makespan did not fall from %d to %d nodes (%.0f -> %.0f)", sys, n/2, n, prev, m)
+			}
+			prev = m
+		}
+	}
+}
+
+// --- Figure 3: Epigenome ---
+
+// "the choice of storage system has less of an impact on the performance
+// of Epigenome ... the performance was almost the same for all storage
+// systems, with S3 and PVFS performing slightly worse."
+func TestFig3EpigenomeStorageInsensitive(t *testing.T) {
+	cells := paperGrid(t, "epigenome")
+	// At 8 nodes the NFS incast drift widens the band somewhat; the
+	// paper's "almost the same" reads on the 1-4 node range of Fig 3.
+	for _, tc := range []struct {
+		n      int
+		spread float64
+	}{{2, 0.15}, {4, 0.15}, {8, 0.35}} {
+		min, max := math.Inf(1), 0.0
+		for _, sys := range []string{"s3", "nfs", "gluster-nufa", "gluster-dist", "pvfs"} {
+			m := mkspan(t, cells, sys, tc.n)
+			min = math.Min(min, m)
+			max = math.Max(max, m)
+		}
+		if spread := max/min - 1; spread > tc.spread {
+			t.Errorf("n=%d: storage spread %.0f%% exceeds %.0f%% for the CPU-bound app",
+				tc.n, spread*100, tc.spread*100)
+		}
+	}
+	// S3 and PVFS slightly worse than GlusterFS.
+	for _, n := range []int{2, 4} {
+		g := mkspan(t, cells, "gluster-nufa", n)
+		if s3 := mkspan(t, cells, "s3", n); s3 <= g {
+			t.Errorf("n=%d: S3 (%.0f s) should trail GlusterFS (%.0f s) slightly", n, s3, g)
+		}
+		if pv := mkspan(t, cells, "pvfs", n); pv <= g {
+			t.Errorf("n=%d: PVFS (%.0f s) should trail GlusterFS (%.0f s) slightly", n, pv, g)
+		}
+	}
+}
+
+// "Unlike Montage ... for Epigenome the local disk was significantly
+// faster" (than the shared systems at one node).
+func TestFig3LocalFastestAtOneNode(t *testing.T) {
+	cells := paperGrid(t, "epigenome")
+	local := mkspan(t, cells, "local", 1)
+	for _, sys := range []string{"s3", "nfs"} {
+		if m := mkspan(t, cells, sys, 1); m <= local {
+			t.Errorf("%s at 1 node (%.0f s) not slower than local (%.0f s)", sys, m, local)
+		}
+	}
+}
+
+// --- Figure 4: Broadband ---
+
+// "the best overall performance for Broadband was achieved using Amazon
+// S3 ... likely due to the fact that Broadband reuses many input files."
+func TestFig4S3BestForBroadband(t *testing.T) {
+	cells := paperGrid(t, "broadband")
+	for _, n := range []int{4, 8} {
+		s3 := mkspan(t, cells, "s3", n)
+		for _, other := range []string{"nfs", "gluster-nufa", "gluster-dist", "pvfs"} {
+			if o := mkspan(t, cells, other, n); s3 >= o {
+				t.Errorf("n=%d: S3 (%.0f s) not faster than %s (%.0f s)", n, s3, other, o)
+			}
+		}
+	}
+}
+
+// "GlusterFS (NUFA) results in better performance than GlusterFS
+// (distribute)" — pipeline locality.
+func TestFig4NUFABeatsDistributeForBroadband(t *testing.T) {
+	cells := paperGrid(t, "broadband")
+	// At 8 nodes the remote-read probability is 7/8 under either
+	// placement, so NUFA's locality edge washes out; the visible gap is
+	// at 2-4 nodes.
+	for _, n := range []int{2, 4} {
+		nufa := mkspan(t, cells, "gluster-nufa", n)
+		dist := mkspan(t, cells, "gluster-dist", n)
+		if nufa >= dist {
+			t.Errorf("n=%d: NUFA (%.0f s) not faster than distribute (%.0f s)", n, nufa, dist)
+		}
+	}
+}
+
+// "The decrease in performance using NFS between 2 and 4 nodes was
+// consistent across repeated experiments", with the 4-node NFS makespan
+// around 5363 s.
+func TestFig4NFSDegradesFrom2To4Nodes(t *testing.T) {
+	cells := paperGrid(t, "broadband")
+	two := mkspan(t, cells, "nfs", 2)
+	four := mkspan(t, cells, "nfs", 4)
+	if four <= two {
+		t.Errorf("NFS makespan improved from 2 (%.0f s) to 4 (%.0f s) nodes; paper observed a decrease", two, four)
+	}
+	if four < 4500 || four > 6200 {
+		t.Errorf("NFS at 4 nodes = %.0f s, want in the neighbourhood of the paper's 5363 s", four)
+	}
+}
+
+// The m2.4xlarge server "was better than the smaller server for the
+// 4-node case (4368 seconds vs. 5363 seconds), but was still
+// significantly worse than GlusterFS and S3 (<3000 seconds in all cases)."
+func TestFig4BigNFSServerAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	small, err := Run(RunConfig{App: "broadband", Storage: "nfs", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(RunConfig{App: "broadband", Storage: "nfs-m2.4xlarge", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Makespan >= small.Makespan {
+		t.Errorf("m2.4xlarge server (%.0f s) not faster than m1.xlarge (%.0f s)", big.Makespan, small.Makespan)
+	}
+	if ratio := small.Makespan / big.Makespan; ratio < 1.08 || ratio > 1.5 {
+		t.Errorf("server upgrade speedup = %.2fx, paper ratio is 5363/4368 = 1.23x", ratio)
+	}
+	cells := paperGrid(t, "broadband")
+	for _, sys := range []string{"s3", "gluster-nufa", "gluster-dist"} {
+		if m := mkspan(t, cells, sys, 4); m >= 3000 {
+			t.Errorf("%s at 4 nodes = %.0f s, want <3000 s per the paper", sys, m)
+		}
+		if m := mkspan(t, cells, sys, 4); m >= big.Makespan {
+			t.Errorf("%s at 4 nodes (%.0f s) not faster than the big NFS server (%.0f s)", sys, m, big.Makespan)
+		}
+	}
+}
+
+// "Similar to Montage, Broadband appears to have relatively poor
+// performance on PVFS."
+func TestFig4PVFSPoorForBroadband(t *testing.T) {
+	cells := paperGrid(t, "broadband")
+	for _, n := range []int{2, 4, 8} {
+		pv := mkspan(t, cells, "pvfs", n)
+		s3 := mkspan(t, cells, "s3", n)
+		if pv <= s3 {
+			t.Errorf("n=%d: PVFS (%.0f s) not slower than S3 (%.0f s)", n, pv, s3)
+		}
+	}
+}
+
+// --- Figures 5-7: cost ---
+
+// "For Montage the lowest cost solution was GlusterFS on two nodes."
+// (Ties allowed: per-hour billing quantizes to $0.68 steps.)
+func TestFig5MontageCheapestIsGlusterAtTwoNodes(t *testing.T) {
+	cells := paperGrid(t, "montage")
+	g2 := Find(cells, "gluster-nufa", 2).Result.CostHour.Total()
+	for _, c := range cells {
+		if cost := c.Result.CostHour.Total(); cost < g2-1e-9 {
+			t.Errorf("%s at %d nodes costs %.2f < GlusterFS@2 %.2f", c.System, c.Workers, cost, g2)
+		}
+	}
+}
+
+// "For Epigenome the lowest cost solution was a single node using the
+// local disk" — strictly, at $0.68.
+func TestFig6EpigenomeCheapestIsLocal(t *testing.T) {
+	cells := paperGrid(t, "epigenome")
+	local := Find(cells, "local", 1).Result.CostHour.Total()
+	if math.Abs(local-0.68) > 1e-9 {
+		t.Errorf("Epigenome local cost = $%.2f, want $0.68 (sub-hour single node)", local)
+	}
+	for _, c := range cells {
+		if c.System == "local" {
+			continue
+		}
+		if cost := c.Result.CostHour.Total(); cost <= local {
+			t.Errorf("%s at %d nodes costs $%.2f, not above local's $%.2f", c.System, c.Workers, cost, local)
+		}
+	}
+}
+
+// "For Broadband the local disk, GlusterFS and S3 all tied for the lowest
+// cost." ($0.02 tolerance: S3 adds request fees.)
+func TestFig7BroadbandCostThreeWayTie(t *testing.T) {
+	cells := paperGrid(t, "broadband")
+	local := Find(cells, "local", 1).Result.CostHour.Total()
+	cheapest := func(sys string) float64 {
+		best := math.Inf(1)
+		for _, c := range cells {
+			if c.System == sys {
+				if v := c.Result.CostHour.Total(); v < best {
+					best = v
+				}
+			}
+		}
+		return best
+	}
+	g := math.Min(cheapest("gluster-nufa"), cheapest("gluster-dist"))
+	s3 := cheapest("s3")
+	if math.Abs(local-g) > 0.02 || math.Abs(local-s3) > 0.02 {
+		t.Errorf("not a three-way tie: local $%.2f, gluster $%.2f, s3 $%.2f", local, g, s3)
+	}
+	if nfs := cheapest("nfs"); nfs <= local+0.02 {
+		t.Errorf("NFS cheapest $%.2f should exceed the tie at $%.2f (extra server node)", nfs, local)
+	}
+}
+
+// "For all of the applications the per-second cost was less than the
+// per-hour cost."
+func TestPerSecondAlwaysBelowPerHour(t *testing.T) {
+	for _, app := range []string{"montage", "epigenome", "broadband"} {
+		for _, c := range paperGrid(t, app) {
+			ph := c.Result.CostHour.Total()
+			ps := c.Result.CostSecond.Total()
+			if ps > ph+1e-9 {
+				t.Errorf("%s/%s n=%d: per-second $%.3f > per-hour $%.3f",
+					app, c.System, c.Workers, ps, ph)
+			}
+		}
+	}
+}
+
+// "In all other cases the cost of the workflows only increased when
+// resources were added" — with per-second billing the effect is strict:
+// sub-linear speedup means node-seconds only grow.
+func TestAddingNodesNeverCutsPerSecondCost(t *testing.T) {
+	for _, app := range []string{"montage", "epigenome", "broadband"} {
+		cells := paperGrid(t, app)
+		for _, sys := range []string{"s3", "gluster-nufa", "gluster-dist", "pvfs", "nfs"} {
+			prev := -1.0
+			for _, n := range NodeCounts() {
+				c := Find(cells, sys, n)
+				if c == nil {
+					continue
+				}
+				cur := c.Result.CostSecond.Total()
+				// The NFS service node makes cost non-uniform: the paper
+				// carves out exactly this exception, so skip NFS's 1->2
+				// step.
+				if prev >= 0 && cur < prev-1e-9 && !(sys == "nfs" && n == 2) {
+					t.Errorf("%s/%s: per-second cost fell when adding nodes (%.3f -> %.3f at n=%d)",
+						app, sys, prev, cur, n)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// XtreemFS "taking more than twice as long as they did on the storage
+// systems reported here" (Section IV).
+func TestXtreemFSMoreThanTwiceGluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	x, err := Run(RunConfig{App: "montage", Storage: "xtreemfs", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := paperGrid(t, "montage")
+	g := mkspan(t, cells, "gluster-nufa", 2)
+	if x.Makespan < 2*g {
+		t.Errorf("XtreemFS Montage (%.0f s) not >2x GlusterFS (%.0f s)", x.Makespan, g)
+	}
+}
+
+// The S3 client cache must be what makes S3 competitive for Broadband.
+func TestS3CacheAblationMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	with, err := Run(RunConfig{App: "broadband", Storage: "s3", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(RunConfig{App: "broadband", Storage: "s3-nocache", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Makespan < with.Makespan*1.3 {
+		t.Errorf("disabling the S3 cache only changed makespan %.0f -> %.0f s; cache should be decisive",
+			with.Makespan, without.Makespan)
+	}
+	if without.Stats.Gets <= with.Stats.Gets {
+		t.Error("cache-less S3 should issue more GETs")
+	}
+}

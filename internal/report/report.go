@@ -1,0 +1,123 @@
+// Package report renders the harness's tables and figures as text: aligned
+// tables for Table-I-style data and ASCII bar charts standing in for the
+// paper's runtime and cost figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// BarChart renders grouped horizontal bars, one group per series label —
+// the text analogue of the paper's grouped bar figures.
+type BarChart struct {
+	Title string
+	Unit  string // e.g. "s" or "$"
+	Bars  []Bar
+	// Width is the maximum bar length in characters (default 50).
+	Width int
+}
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart with bars scaled to the maximum value.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	labelW := 0
+	for _, b := range c.Bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var out strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&out, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		if n == 0 && b.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&out, "%-*s | %s %.*f%s\n", labelW, b.Label,
+			strings.Repeat("#", n), precision(b.Value), b.Value, c.Unit)
+	}
+	return out.String()
+}
+
+// precision picks decimals so costs show cents and makespans show whole
+// seconds.
+func precision(v float64) int {
+	if v < 100 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"Application", "I/O"},
+	}
+	tb.AddRow("Montage", "High")
+	tb.AddRow("Epigenome", "Low")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// The I/O column must start at the same offset in every data line.
+	idx := strings.Index(lines[1], "I/O")
+	for _, row := range lines[3:] {
+		if len(row) <= idx {
+			t.Fatalf("row shorter than header: %q", row)
+		}
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+}
+
+func TestTableWideCellsGrowColumns(t *testing.T) {
+	tb := &Table{Header: []string{"a"}}
+	tb.AddRow("a-very-long-cell")
+	out := tb.String()
+	if !strings.Contains(out, "a-very-long-cell") {
+		t.Error("cell truncated")
+	}
+	sep := strings.Split(out, "\n")[1]
+	if len(sep) < len("a-very-long-cell") {
+		t.Errorf("separator %q shorter than widest cell", sep)
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	c := &BarChart{Title: "runtimes", Unit: "s", Width: 20}
+	c.Add("fast", 10)
+	c.Add("slow", 100)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	fast := strings.Count(lines[1], "#")
+	slow := strings.Count(lines[2], "#")
+	if slow != 20 {
+		t.Errorf("max bar = %d chars, want full width 20", slow)
+	}
+	if fast != 2 {
+		t.Errorf("fast bar = %d chars, want 2 (10%% of 20)", fast)
+	}
+}
+
+func TestBarChartTinyNonZeroStillVisible(t *testing.T) {
+	c := &BarChart{Width: 10}
+	c.Add("tiny", 0.001)
+	c.Add("huge", 1000)
+	out := c.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "tiny") && !strings.Contains(line, "#") {
+			t.Error("non-zero bar rendered invisible")
+		}
+	}
+}
+
+func TestBarChartPrecision(t *testing.T) {
+	c := &BarChart{Unit: "$"}
+	c.Add("cheap", 0.68)
+	c.Add("slow", 5363)
+	out := c.String()
+	if !strings.Contains(out, "0.68$") {
+		t.Errorf("cents lost:\n%s", out)
+	}
+	if !strings.Contains(out, "5363$") {
+		t.Errorf("large value should drop decimals:\n%s", out)
+	}
+}
+
+func TestEmptyChartAndTable(t *testing.T) {
+	if out := (&BarChart{Title: "empty"}).String(); !strings.Contains(out, "empty") {
+		t.Error("empty chart lost its title")
+	}
+	tb := &Table{Header: []string{"x"}}
+	if out := tb.String(); !strings.Contains(out, "x") {
+		t.Error("empty table lost its header")
+	}
+}

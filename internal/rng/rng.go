@@ -1,0 +1,66 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used to derive per-task runtime jitter and hash placements.
+//
+// The simulator must be bit-for-bit reproducible across runs and Go
+// versions, so it does not use math/rand (whose stream is not guaranteed
+// stable across releases). splitmix64 is tiny, fast, well distributed and
+// trivially stable.
+package rng
+
+// RNG is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; use New to seed explicitly.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns a multiplicative factor in [1-frac, 1+frac], used to
+// spread task runtimes around their mean without changing totals much.
+func (r *RNG) Jitter(frac float64) float64 {
+	return 1 + frac*(2*r.Float64()-1)
+}
+
+// Fork derives an independent generator from the current one, so that
+// subsystems can consume randomness without perturbing each other's
+// streams.
+func (r *RNG) Fork() *RNG { return New(r.Uint64()) }
+
+// HashString returns a stable 64-bit FNV-1a hash of s. It is used for
+// placement decisions (e.g. GlusterFS distribute) that must not depend on
+// map iteration order or generator state.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,144 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// The splitmix64 stream must be stable forever: the calibrated experiment
+// results depend on it. Pin the first values for seed 1.
+func TestGoldenValues(t *testing.T) {
+	r := New(1)
+	want := []uint64{
+		0x910a2dec89025cc1,
+		0xbeeb8da1658eec67,
+		0xf893a2eefb32555e,
+	}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("value %d = %#x, want %#x (stream changed: recalibrate!)", i, got, w)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64RoughUniformity(t *testing.T) {
+	r := New(9)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("bucket %d holds %.3f of samples, want ~0.10", i, frac)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestJitterRange(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		j := r.Jitter(0.2)
+		if j < 0.8 || j > 1.2 {
+			t.Fatalf("Jitter(0.2) = %g outside [0.8, 1.2]", j)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(5)
+	child := parent.Fork()
+	// Child consuming values must not change what the parent produces
+	// relative to a twin that forked but ignored the child.
+	twin := New(5)
+	twinChild := twin.Fork()
+	_ = twinChild
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != twin.Uint64() {
+			t.Fatal("child consumption perturbed the parent stream")
+		}
+	}
+}
+
+func TestHashStringStableAndSpread(t *testing.T) {
+	if HashString("p-0001.fits") != HashString("p-0001.fits") {
+		t.Error("hash not stable")
+	}
+	if HashString("a") == HashString("b") {
+		t.Error("trivially colliding hash")
+	}
+	// Placement spread: hashing many names mod 4 should hit all buckets.
+	counts := make(map[uint64]int)
+	for i := 0; i < 256; i++ {
+		counts[HashString(string(rune('a'+i%26))+string(rune('0'+i/26)))%4]++
+	}
+	for b, c := range counts {
+		if c < 32 {
+			t.Errorf("bucket %d got %d of 256 names; placement too skewed", b, c)
+		}
+	}
+}
+
+// Property: Jitter is symmetric in expectation (mean ~1.0).
+func TestPropertyJitterCentered(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		sum := 0.0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += r.Jitter(0.2)
+		}
+		mean := sum / n
+		return mean > 0.98 && mean < 1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with goroutine-backed processes.
+//
+// The engine owns a virtual clock (float64 seconds) and an event heap.
+// Simulation logic is written as ordinary sequential Go code inside
+// processes (see Proc); a process that sleeps or blocks on a synchronization
+// primitive parks its goroutine and hands control back to the engine, which
+// advances the clock to the next event. Exactly one goroutine — either the
+// engine or a single process — runs at any instant, so simulation state
+// needs no locking and runs are bit-for-bit reproducible: events at equal
+// times fire in scheduling order (FIFO by sequence number).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now      float64
+	seq      int64
+	events   eventHeap
+	yielded  chan struct{} // signaled by a process when it parks or exits
+	cur      *Proc
+	panicVal interface{}
+	procSeq  int
+	live     int // number of live (started, unfinished) processes
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{yielded: make(chan struct{})}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a simulation bug.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{e: e, ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	e  *Engine
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired. A stopped event's slot stays
+// in the heap with a nil fn and is skipped when popped.
+func (t *Timer) Stop() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+		t.ev = nil
+	}
+}
+
+// Pending reports the number of live (non-cancelled) events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// step pops and runs the next event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		if ev.at < e.now {
+			panic("sim: event heap time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.panicVal != nil {
+			v := e.panicVal
+			e.panicVal = nil
+			panic(v)
+		}
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. It panics (with the
+// original value) if any process panicked.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+	if e.live > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked with no pending events", e.live))
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+// It returns true if the queue drained before t.
+func (e *Engine) RunUntil(t float64) bool {
+	for len(e.events) > 0 {
+		// Peek at the next live event.
+		if e.events[0].fn == nil {
+			heap.Pop(&e.events)
+			continue
+		}
+		if e.events[0].at > t {
+			e.now = t
+			return false
+		}
+		e.step()
+	}
+	e.now = t
+	return true
+}
+
+// wake schedules p to resume at the current time. It is the only way a
+// suspended process gets control back, which keeps all wakeups ordered
+// through the event queue.
+func (e *Engine) wake(p *Proc) {
+	if p.finished {
+		panic("sim: waking finished process " + p.name)
+	}
+	e.At(e.now, func() { e.resume(p) })
+}
+
+// resume hands control to a parked process and waits for it to park again
+// or exit.
+func (e *Engine) resume(p *Proc) {
+	if p.finished {
+		panic("sim: resuming finished process " + p.name)
+	}
+	prev := e.cur
+	e.cur = p
+	p.wakeCh <- struct{}{}
+	<-e.yielded
+	e.cur = prev
+}

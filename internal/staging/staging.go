@@ -1,0 +1,110 @@
+// Package staging models moving workflow data between the submit host and
+// the cloud over the wide-area network — the paper's third cost category
+// ("transfer cost includes charges for moving input data, output data and
+// log files between the submit host and EC2").
+//
+// The paper deliberately excludes these transfers from its measured window
+// (inputs are pre-staged, outputs retained in the cloud) and defers the
+// measurements to the authors' earlier e-Science 2009 study; this package
+// implements that excluded piece so deployments can be costed end to end:
+// a WAN link model between the submit host and the EC2 region, and the
+// 2010 AWS data-transfer price book.
+package staging
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// 2010 AWS data-transfer prices (USD per GB). Transfers within the region
+// (e.g. EC2 <-> S3) are free, which the paper notes.
+const (
+	PriceInPerGB  = 0.10
+	PriceOutPerGB = 0.15
+	// Log files shipped back to the submit host per task, the third item
+	// in the paper's transfer list.
+	LogBytesPerTask = 50 * units.KB
+)
+
+// Link is the WAN path between the submit host and the cloud region.
+type Link struct {
+	// Up and Down are the submit host's achievable rates toward and from
+	// EC2. University campus uplinks of the era sustained tens of Mbit/s
+	// to AWS; the defaults are 50 Mbit/s each way.
+	Up   *flow.Resource
+	Down *flow.Resource
+	net  *flow.Net
+}
+
+// DefaultRate is the default WAN rate in bytes/second (50 Mbit/s).
+const DefaultRate = 50e6 / 8
+
+// NewLink creates a WAN link with the given rates (bytes/second); zero
+// values use DefaultRate.
+func NewLink(net *flow.Net, up, down float64) *Link {
+	if up <= 0 {
+		up = DefaultRate
+	}
+	if down <= 0 {
+		down = DefaultRate
+	}
+	return &Link{
+		Up:   flow.NewResource("wan-up", up),
+		Down: flow.NewResource("wan-down", down),
+		net:  net,
+	}
+}
+
+// Plan describes one workflow's staging traffic.
+type Plan struct {
+	InputBytes  float64 // submit host -> cloud, before the run
+	OutputBytes float64 // cloud -> submit host, after the run
+	LogBytes    float64 // cloud -> submit host, after the run
+}
+
+// PlanFor derives the staging plan from a finalized workflow: all
+// workflow-level inputs go up; all deliverables plus per-task logs come
+// back.
+func PlanFor(w *workflow.Workflow) Plan {
+	p := Plan{LogBytes: float64(len(w.Tasks)) * LogBytesPerTask}
+	for _, f := range w.Inputs() {
+		p.InputBytes += f.Size
+	}
+	for _, f := range w.Outputs() {
+		p.OutputBytes += f.Size
+	}
+	return p
+}
+
+// Cost returns the AWS transfer charges for the plan.
+func (p Plan) Cost() float64 {
+	return p.InputBytes/units.GB*PriceInPerGB +
+		(p.OutputBytes+p.LogBytes)/units.GB*PriceOutPerGB
+}
+
+// StageIn simulates uploading the inputs, blocking prc for the WAN time.
+func (l *Link) StageIn(prc *sim.Proc, p Plan) {
+	l.net.Transfer(prc, p.InputBytes, l.Up)
+}
+
+// StageOut simulates retrieving outputs and logs.
+func (l *Link) StageOut(prc *sim.Proc, p Plan) {
+	l.net.Transfer(prc, p.OutputBytes+p.LogBytes, l.Down)
+}
+
+// Estimate returns the staging seconds without running a simulation
+// (single-flow transfers are deterministic: bytes / rate).
+func (l *Link) Estimate(p Plan) (inSeconds, outSeconds float64) {
+	return p.InputBytes / l.Up.Capacity(), (p.OutputBytes + p.LogBytes) / l.Down.Capacity()
+}
+
+// Describe renders the plan for reports.
+func (p Plan) Describe() string {
+	return fmt.Sprintf("in %s, out %s (+%s logs), transfer fees %s",
+		units.Bytes(p.InputBytes), units.Bytes(p.OutputBytes),
+		units.Bytes(p.LogBytes), units.USD(p.Cost()))
+}

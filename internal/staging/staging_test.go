@@ -1,0 +1,113 @@
+package staging
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+)
+
+func TestPlanForMontage(t *testing.T) {
+	w, err := apps.PaperScale("montage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PlanFor(w)
+	if p.InputBytes < 4.1*units.GB || p.InputBytes > 4.3*units.GB {
+		t.Errorf("input plan = %s, want ~4.2 GB", units.Bytes(p.InputBytes))
+	}
+	if p.OutputBytes < 7.7*units.GB || p.OutputBytes > 8.1*units.GB {
+		t.Errorf("output plan = %s, want ~7.9 GB", units.Bytes(p.OutputBytes))
+	}
+	if p.LogBytes != 10429*LogBytesPerTask {
+		t.Errorf("log plan = %s, want one log per task", units.Bytes(p.LogBytes))
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	p := Plan{InputBytes: 10 * units.GB, OutputBytes: 20 * units.GB}
+	want := 10*PriceInPerGB + 20*PriceOutPerGB
+	if got := p.Cost(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Cost = %g, want %g", got, want)
+	}
+}
+
+func TestStageTimesMatchLinkRate(t *testing.T) {
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	l := NewLink(net, 0, 0) // defaults: 50 Mbit/s
+	p := Plan{InputBytes: DefaultRate * 120, OutputBytes: DefaultRate * 60}
+	var tIn, tOut float64
+	e.Go("stage", func(prc *sim.Proc) {
+		start := prc.Now()
+		l.StageIn(prc, p)
+		tIn = prc.Now() - start
+		start = prc.Now()
+		l.StageOut(prc, p)
+		tOut = prc.Now() - start
+	})
+	e.Run()
+	if math.Abs(tIn-120) > 1e-6 {
+		t.Errorf("stage-in took %.1f s, want 120", tIn)
+	}
+	if math.Abs(tOut-60) > 1e-6 {
+		t.Errorf("stage-out took %.1f s, want 60", tOut)
+	}
+	estIn, estOut := l.Estimate(p)
+	if math.Abs(estIn-tIn) > 1e-6 || math.Abs(estOut-tOut) > 1e-6 {
+		t.Error("Estimate disagrees with simulation for single flows")
+	}
+}
+
+func TestConcurrentStagingShares(t *testing.T) {
+	// Two workflows staging in at once halve each other's rate.
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	l := NewLink(net, 1000, 1000)
+	var done [2]float64
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("stage", func(prc *sim.Proc) {
+			l.StageIn(prc, Plan{InputBytes: 1000})
+			done[i] = prc.Now()
+		})
+	}
+	e.Run()
+	for _, d := range done {
+		if math.Abs(d-2) > 1e-6 {
+			t.Errorf("concurrent stage finished at %.2f, want 2.0 (fair share)", d)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := Plan{InputBytes: units.GB, OutputBytes: units.GB, LogBytes: units.MB}
+	s := p.Describe()
+	for _, want := range []string{"1.00 GB", "logs", "$"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q: %s", want, s)
+		}
+	}
+}
+
+// The paper's methodological note holds in the model too: for these
+// applications the staging fees are small next to resource charges.
+func TestTransferFeesSmallForPaperApps(t *testing.T) {
+	for _, name := range apps.Names() {
+		w, err := apps.PaperScale(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fee := PlanFor(w).Cost()
+		if fee > 3.0 {
+			t.Errorf("%s transfer fees = %s, unexpectedly large", name, units.USD(fee))
+		}
+		if fee <= 0 {
+			t.Errorf("%s transfer fees zero", name)
+		}
+	}
+}

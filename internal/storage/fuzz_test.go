@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// Property: every storage system survives arbitrary write-once/read-many
+// operation sequences from concurrent clients without deadlock, the
+// simulation clock only moves forward, and the op counters add up.
+func TestPropertyStorageSystemsHandleArbitraryWorkloads(t *testing.T) {
+	for _, sysName := range Names() {
+		sysName := sysName
+		t.Run(sysName, func(t *testing.T) {
+			f := func(seed uint64, opsRaw []uint16) bool {
+				if len(opsRaw) > 60 {
+					opsRaw = opsRaw[:60]
+				}
+				sys, err := ByName(sysName)
+				if err != nil {
+					return false
+				}
+				workers := sys.MinWorkers()
+				if sysName != "local" && workers < 2 {
+					workers = 2
+				}
+				e := sim.NewEngine()
+				net := flow.NewNet(e)
+				c, err := cluster.New(e, net, rng.New(seed), cluster.Config{
+					Workers:    workers,
+					WorkerType: cluster.C1XLarge(),
+					Extra:      sys.ExtraNodeTypes(),
+				})
+				if err != nil {
+					return false
+				}
+				env := &Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(seed + 1)}
+				if err := sys.Init(env); err != nil {
+					return false
+				}
+
+				// Pre-stage a pool of inputs; generated ops write new files
+				// and read files guaranteed to exist: the staged pool plus
+				// the same client's earlier writes (write-once semantics
+				// with no cross-client read-before-write races).
+				r := rng.New(seed + 2)
+				var staged []*workflow.File
+				for i := 0; i < 4; i++ {
+					staged = append(staged, &workflow.File{
+						Name: fmt.Sprintf("in-%d", i),
+						Size: float64(r.Intn(50)+1) * units.MB,
+					})
+				}
+				sys.PreStage(staged)
+
+				var wantReads, wantWrites int64
+				nextID := 0
+				// Spread the ops across the workers as concurrent client
+				// processes.
+				perWorker := make([][]uint16, workers)
+				for i, op := range opsRaw {
+					perWorker[i%workers] = append(perWorker[i%workers], op)
+				}
+				for wi, ops := range perWorker {
+					node := c.Workers[wi]
+					ops := ops
+					// Precompute the op plan so expected counters are known
+					// deterministically before the simulation runs.
+					type plannedOp struct {
+						read bool
+						f    *workflow.File
+					}
+					readable := append([]*workflow.File{}, staged...)
+					var plan []plannedOp
+					for _, op := range ops {
+						if op%2 == 0 {
+							f := &workflow.File{Name: fmt.Sprintf("out-%d", nextID), Size: float64(op%2048+1) * units.KB}
+							nextID++
+							readable = append(readable, f)
+							plan = append(plan, plannedOp{read: false, f: f})
+							wantWrites++
+						} else {
+							plan = append(plan, plannedOp{read: true, f: readable[int(op)%len(readable)]})
+							wantReads++
+						}
+					}
+					e.Go("client", func(p *sim.Proc) {
+						last := p.Now()
+						for _, po := range plan {
+							if po.read {
+								sys.Read(p, node, po.f)
+							} else {
+								sys.Write(p, node, po.f)
+							}
+							if p.Now() < last {
+								panic("time went backwards")
+							}
+							last = p.Now()
+						}
+					})
+				}
+				e.Run()
+				st := sys.Stats()
+				return st.Reads == wantReads && st.Writes == wantWrites
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: for POSIX systems with page caches, re-reading the same file
+// on the same node is never slower than the first read.
+func TestPropertyRereadNeverSlower(t *testing.T) {
+	for _, sysName := range []string{"local", "nfs", "gluster-nufa", "gluster-dist", "s3"} {
+		sysName := sysName
+		t.Run(sysName, func(t *testing.T) {
+			f := func(sizeRaw uint16) bool {
+				sys, _ := ByName(sysName)
+				workers := 2
+				if sysName == "local" {
+					workers = 1
+				}
+				e := sim.NewEngine()
+				net := flow.NewNet(e)
+				c, err := cluster.New(e, net, rng.New(3), cluster.Config{
+					Workers:    workers,
+					WorkerType: cluster.C1XLarge(),
+					Extra:      sys.ExtraNodeTypes(),
+				})
+				if err != nil {
+					return false
+				}
+				env := &Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(4)}
+				if err := sys.Init(env); err != nil {
+					return false
+				}
+				file := &workflow.File{Name: "data", Size: float64(sizeRaw%2000+1) * units.MB}
+				sys.PreStage([]*workflow.File{file})
+				ok := true
+				e.Go("reader", func(p *sim.Proc) {
+					start := p.Now()
+					sys.Read(p, c.Workers[0], file)
+					firstRead := p.Now() - start
+					start = p.Now()
+					sys.Read(p, c.Workers[0], file)
+					if p.Now()-start > firstRead+1e-9 {
+						ok = false
+					}
+				})
+				e.Run()
+				return ok
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

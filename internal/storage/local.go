@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/workflow"
+)
+
+// localOpLatency is the per-file open/close overhead on a local ext3
+// volume — essentially free next to any network system.
+const localOpLatency = 0.0002
+
+// Local is the single-node baseline: all files live on the node's RAID0
+// ephemeral volume. The paper reports it as a single point in each figure.
+type Local struct {
+	env   *Env
+	node  *cluster.Node
+	cache *PageCache
+	stats Stats
+}
+
+// NewLocal returns the local-disk system.
+func NewLocal() *Local { return &Local{} }
+
+// Name implements System.
+func (l *Local) Name() string { return "local" }
+
+// Description implements System.
+func (l *Local) Description() string {
+	return "single-node RAID0 ephemeral disk (no sharing)"
+}
+
+// MinWorkers implements System.
+func (l *Local) MinWorkers() int { return 1 }
+
+// ExtraNodeTypes implements System.
+func (l *Local) ExtraNodeTypes() []cluster.InstanceType { return nil }
+
+// Init implements System. Local storage cannot share data, so it refuses
+// multi-node clusters.
+func (l *Local) Init(env *Env) error {
+	if err := checkInit(l, env); err != nil {
+		return err
+	}
+	if len(env.Workers) != 1 {
+		return fmt.Errorf("storage: local disk cannot share files across %d nodes", len(env.Workers))
+	}
+	l.env = env
+	l.node = env.Workers[0]
+	l.cache = NewPageCache(l.node)
+	return nil
+}
+
+// PreStage implements System: inputs already sit on the local volume.
+func (l *Local) PreStage(files []*workflow.File) {}
+
+// Read implements System.
+func (l *Local) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	l.stats.Reads++
+	p.Sleep(localOpLatency)
+	if l.cache.Lookup(f) {
+		l.stats.CacheHits++
+		return
+	}
+	l.stats.CacheMisses++
+	node.Disk.Read(p, f.Size)
+	l.cache.Insert(f)
+}
+
+// Write implements System.
+func (l *Local) Write(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	l.stats.Writes++
+	p.Sleep(localOpLatency)
+	node.Disk.Write(p, f.Size)
+	l.cache.Insert(f)
+}
+
+// Stats implements System.
+func (l *Local) Stats() Stats { return l.stats }

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"container/list"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// NFS client/server tuning, matching the paper's configuration: the async
+// export option (server acknowledges writes once they reach its memory)
+// and atime updates disabled (so reads cost one RPC, not a write-back).
+const (
+	nfsRPCLatency = 0.0012 // per-operation round trip inside EC2
+	// flushChunk is the granularity at which the server's flusher daemon
+	// drains dirty pages to disk.
+	nfsFlushChunk = 64 * units.MB
+	// nfsIncast is the per-additional-client efficiency loss at the
+	// server: with many clients issuing concurrent requests the server's
+	// effective throughput collapses below NIC line rate (request
+	// scheduling, TCP incast). This is the mechanism behind the paper's
+	// most surprising data point — Broadband on NFS getting *slower*
+	// from 2 to 4 nodes, "consistent across repeated experiments".
+	nfsIncast = 0.30
+)
+
+// NFS models a dedicated central file server. Every read and write crosses
+// the server's NIC, which is the scalability cliff the paper observes:
+// fine with few clients or low I/O, collapsing for Broadband at 4+ nodes.
+type NFS struct {
+	// ServerType is the instance type for the dedicated server:
+	// m1.xlarge by default (the paper's best pick), m2.4xlarge in the
+	// Broadband ablation.
+	ServerType cluster.InstanceType
+	// Async mirrors the paper's "async" export option. When false, every
+	// write waits for the server's disk (first-write penalty included).
+	Async bool
+	// label distinguishes variants in reports.
+	label string
+
+	env          *Env
+	server       *cluster.Node
+	srvIn        *flow.Resource // server ingest path (incast-degraded)
+	srvOut       *flow.Resource // server egress path (incast-degraded)
+	clientCaches map[*cluster.Node]*PageCache
+
+	// Server page cache: LRU over whole files.
+	serverCache   map[*workflow.File]*list.Element
+	serverLRU     *list.List
+	serverSize    float64
+	serverCap     float64
+	dirty         float64
+	dirtyLimit    float64
+	flusherNotify *sim.Mailbox[struct{}]
+
+	stats Stats
+}
+
+// NewNFS returns the paper's default NFS deployment: dedicated m1.xlarge
+// server, async exports, atime off.
+func NewNFS() *NFS {
+	return &NFS{ServerType: cluster.M1XLarge(), Async: true, label: "nfs"}
+}
+
+// NewNFSBigServer returns the m2.4xlarge variant from the Broadband
+// ablation (Section V.C).
+func NewNFSBigServer() *NFS {
+	return &NFS{ServerType: cluster.M24XLarge(), Async: true, label: "nfs-m2.4xlarge"}
+}
+
+// NewNFSSync returns a synchronous-export variant (ablation A-4).
+func NewNFSSync() *NFS {
+	return &NFS{ServerType: cluster.M1XLarge(), Async: false, label: "nfs-sync"}
+}
+
+// Name implements System.
+func (n *NFS) Name() string { return n.label }
+
+// Description implements System.
+func (n *NFS) Description() string {
+	mode := "async"
+	if !n.Async {
+		mode = "sync"
+	}
+	return "central NFS server on a dedicated " + n.ServerType.Name + " (" + mode + ", noatime)"
+}
+
+// MinWorkers implements System.
+func (n *NFS) MinWorkers() int { return 1 }
+
+// ExtraNodeTypes implements System.
+func (n *NFS) ExtraNodeTypes() []cluster.InstanceType {
+	return []cluster.InstanceType{n.ServerType}
+}
+
+// Init implements System.
+func (n *NFS) Init(env *Env) error {
+	if err := checkInit(n, env); err != nil {
+		return err
+	}
+	n.env = env
+	n.server = env.Extra[0]
+	eff := n.server.Type.NICBandwidth / (1 + nfsIncast*float64(len(env.Workers)-1))
+	n.srvIn = flow.NewResource("nfs-srv-in", eff)
+	n.srvOut = flow.NewResource("nfs-srv-out", eff)
+	n.clientCaches = make(map[*cluster.Node]*PageCache, len(env.Workers))
+	for _, w := range env.Workers {
+		n.clientCaches[w] = NewPageCache(w)
+	}
+	n.serverCache = make(map[*workflow.File]*list.Element)
+	n.serverLRU = list.New()
+	n.serverCap = n.server.Type.Memory - 1*units.GiB
+	n.dirtyLimit = 0.4 * n.server.Type.Memory
+	n.flusherNotify = sim.NewMailbox[struct{}](env.E)
+	env.E.GoDaemon("nfs-flusher", n.flusher)
+	return nil
+}
+
+// flusher is the server's write-back daemon: it drains dirty bytes to the
+// server disk, competing with any synchronous traffic for the disk's write
+// channel. It runs for the life of the simulation.
+func (n *NFS) flusher(p *sim.Proc) {
+	for {
+		if n.dirty <= 0 {
+			if _, ok := n.flusherNotify.Get(p); !ok {
+				return
+			}
+			continue
+		}
+		chunk := n.dirty
+		if chunk > nfsFlushChunk {
+			chunk = nfsFlushChunk
+		}
+		n.server.Disk.Write(p, chunk)
+		n.dirty -= chunk
+	}
+}
+
+// serverLookup checks the server page cache, refreshing recency.
+func (n *NFS) serverLookup(f *workflow.File) bool {
+	if el, ok := n.serverCache[f]; ok {
+		n.serverLRU.MoveToFront(el)
+		n.stats.ServerCacheHits++
+		return true
+	}
+	n.stats.ServerCacheMisses++
+	return false
+}
+
+// serverInsert caches f on the server, evicting LRU files beyond capacity.
+func (n *NFS) serverInsert(f *workflow.File) {
+	if _, ok := n.serverCache[f]; ok {
+		return
+	}
+	if f.Size > n.serverCap {
+		return
+	}
+	n.serverSize += f.Size
+	n.serverCache[f] = n.serverLRU.PushFront(f)
+	for n.serverSize > n.serverCap {
+		back := n.serverLRU.Back()
+		old := back.Value.(*workflow.File)
+		n.serverLRU.Remove(back)
+		delete(n.serverCache, old)
+		n.serverSize -= old.Size
+	}
+}
+
+// PreStage implements System: inputs land on the server's disk (and warm
+// its cache, as copying them through the server would).
+func (n *NFS) PreStage(files []*workflow.File) {
+	for _, f := range files {
+		n.serverInsert(f)
+	}
+}
+
+// Read implements System.
+func (n *NFS) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	n.stats.Reads++
+	p.Sleep(nfsRPCLatency)
+	if n.clientCaches[node].Lookup(f) {
+		n.stats.CacheHits++
+		return
+	}
+	n.stats.CacheMisses++
+	n.stats.NetworkBytes += f.Size
+	if n.serverLookup(f) {
+		// Served from server memory: network path only.
+		n.env.Net.Transfer(p, f.Size, n.srvOut, node.NICIn)
+	} else {
+		n.server.Disk.Read(p, f.Size, n.srvOut, node.NICIn)
+		n.serverInsert(f)
+	}
+	n.clientCaches[node].Insert(f)
+}
+
+// Write implements System.
+func (n *NFS) Write(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	n.stats.Writes++
+	p.Sleep(nfsRPCLatency)
+	n.stats.NetworkBytes += f.Size
+	switch {
+	case !n.Async:
+		// Synchronous export: the write is bounded by the server disk.
+		n.server.Disk.Write(p, f.Size, node.NICOut, n.srvIn)
+	case n.dirty > n.dirtyLimit:
+		// Dirty buffer full: async degrades to disk speed (the client
+		// write is throttled behind the flusher).
+		n.server.Disk.Write(p, f.Size, node.NICOut, n.srvIn)
+	default:
+		// Async: acknowledged once in server memory.
+		n.env.Net.Transfer(p, f.Size, node.NICOut, n.srvIn)
+		n.dirty += f.Size
+		if n.flusherNotify.Len() == 0 {
+			n.flusherNotify.Put(struct{}{})
+		}
+	}
+	n.serverInsert(f)
+	n.clientCaches[node].Insert(f)
+}
+
+// Stats implements System.
+func (n *NFS) Stats() Stats { return n.stats }

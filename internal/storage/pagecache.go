@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"container/list"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// osReserve is RAM the kernel and daemons keep away from the page cache.
+const osReserve = 512 * units.MiB
+
+// PageCache models a node's Linux page cache over workflow files: reads
+// and writes populate it, and its usable capacity shrinks as running tasks
+// claim anonymous memory. This dynamic capacity is what differentiates the
+// applications: Montage's small tasks leave gigabytes of cache (so
+// re-reads within a node are free on every file system), while Broadband's
+// multi-GB tasks squeeze the cache to nothing — which is exactly why the
+// paper finds that only S3's disk-backed client cache helps Broadband.
+type PageCache struct {
+	node    *cluster.Node
+	entries map[*workflow.File]*list.Element
+	lru     *list.List // front = most recently used
+	size    float64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewPageCache returns an empty cache bound to node's memory.
+func NewPageCache(node *cluster.Node) *PageCache {
+	return &PageCache{
+		node:    node,
+		entries: make(map[*workflow.File]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Capacity returns the bytes currently available to the cache: total RAM
+// minus the OS reserve and the resident memory of running tasks.
+func (c *PageCache) Capacity() float64 {
+	cap := c.node.Type.Memory - osReserve - float64(c.node.Memory.InUse())*units.MB
+	if cap < 0 {
+		return 0
+	}
+	return cap
+}
+
+// Size returns the bytes currently cached.
+func (c *PageCache) Size() float64 { return c.size }
+
+// trim evicts least-recently-used files until the cache fits the current
+// capacity (memory pressure from tasks evicts cached data, as in Linux).
+func (c *PageCache) trim() {
+	cap := c.Capacity()
+	for c.size > cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		f := back.Value.(*workflow.File)
+		c.lru.Remove(back)
+		delete(c.entries, f)
+		c.size -= f.Size
+	}
+}
+
+// Lookup reports whether f is fully cached, counting a hit or miss and
+// refreshing recency. Memory pressure is applied first, so a file cached
+// before a large task started may have been evicted by it.
+func (c *PageCache) Lookup(f *workflow.File) bool {
+	c.trim()
+	if el, ok := c.entries[f]; ok {
+		c.lru.MoveToFront(el)
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Insert adds f to the cache, evicting older entries to make room. Files
+// larger than the current capacity are not cached (they would evict
+// everything for nothing).
+func (c *PageCache) Insert(f *workflow.File) {
+	if _, ok := c.entries[f]; ok {
+		c.lru.MoveToFront(c.entries[f])
+		return
+	}
+	cap := c.Capacity()
+	if f.Size > cap {
+		return
+	}
+	c.size += f.Size
+	c.entries[f] = c.lru.PushFront(f)
+	c.trim()
+}

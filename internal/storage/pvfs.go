@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// PVFS 2.6.3 parameters. The paper had to run this old release (2.8.x
+// crashed on EC2), which lacks the small-file optimizations added later:
+// creates and opens take several metadata round trips across the striped
+// metadata servers, so MB-scale files pay a stiff fixed cost.
+const (
+	pvfsStripeSize    = 64 * units.KB
+	pvfsCreateLatency = 0.110 // create + layout allocation across nodes
+	pvfsOpenLatency   = 0.045 // lookup + layout fetch
+	// pvfsClientStreamRate caps a single file descriptor's throughput:
+	// the 2.6.3 kernel client moves data through a small request window
+	// per open file, so one reader cannot saturate the stripe set even
+	// when the servers have headroom. Combined with the absent client
+	// cache this is what makes PVFS "relatively poor" for Broadband's
+	// repeated 1.2 GB velocity-model reads.
+	pvfsClientStreamRate = 25 * units.MB
+)
+
+// PVFS models the parallel file system striped across the workers' local
+// volumes, with distributed metadata (the paper's configuration: every
+// node is both client and I/O server).
+//
+// Unlike the POSIX network file systems, the PVFS kernel client performs
+// no client-side data caching (by design, to avoid coherence protocols),
+// so every read fetches its stripes again. Combined with the missing
+// small-file optimizations, this is why the paper finds PVFS poor for
+// Montage and Broadband, whose files are re-read heavily.
+type PVFS struct {
+	env   *Env
+	start map[*workflow.File]int // first stripe server index
+	stats Stats
+}
+
+// NewPVFS returns the PVFS system.
+func NewPVFS() *PVFS { return &PVFS{} }
+
+// Name implements System.
+func (v *PVFS) Name() string { return "pvfs" }
+
+// Description implements System.
+func (v *PVFS) Description() string {
+	return "PVFS 2.6.3 striped over all workers (64 KB stripes, distributed metadata)"
+}
+
+// MinWorkers implements System.
+func (v *PVFS) MinWorkers() int { return 2 }
+
+// ExtraNodeTypes implements System.
+func (v *PVFS) ExtraNodeTypes() []cluster.InstanceType { return nil }
+
+// Init implements System.
+func (v *PVFS) Init(env *Env) error {
+	if err := checkInit(v, env); err != nil {
+		return err
+	}
+	v.env = env
+	v.start = make(map[*workflow.File]int)
+	return nil
+}
+
+// PreStage implements System.
+func (v *PVFS) PreStage(files []*workflow.File) {
+	for _, f := range files {
+		v.start[f] = int(rng.HashString(f.Name) % uint64(len(v.env.Workers)))
+	}
+}
+
+// stripeWidth returns how many servers a file of the given size spans: a
+// file smaller than one stripe lives on a single server; larger files
+// round-robin until they cover the whole volume.
+func (v *PVFS) stripeWidth(size float64) int {
+	width := int(math.Ceil(size / pvfsStripeSize))
+	if max := len(v.env.Workers); width > max {
+		return max
+	}
+	if width < 1 {
+		return 1
+	}
+	return width
+}
+
+// servers yields the stripe servers for f in placement order.
+func (v *PVFS) servers(f *workflow.File) []*cluster.Node {
+	startIdx, ok := v.start[f]
+	if !ok {
+		panic(fmt.Sprintf("pvfs: access to file %q that was never created", f.Name))
+	}
+	width := v.stripeWidth(f.Size)
+	out := make([]*cluster.Node, width)
+	for i := range out {
+		out[i] = v.env.Workers[(startIdx+i)%len(v.env.Workers)]
+	}
+	return out
+}
+
+// stripedIO fans the file out over its stripe servers in parallel, each
+// shard crossing the server's disk (and the NICs when remote).
+func (v *PVFS) stripedIO(p *sim.Proc, node *cluster.Node, f *workflow.File, write bool) {
+	servers := v.servers(f)
+	share := f.Size / float64(len(servers))
+	// All shards of one logical file move through the client's request
+	// window, modelled as a rate cap shared by the shard transfers.
+	window := flow.NewResource("pvfs-client-window", pvfsClientStreamRate)
+	pendings := make([]*flow.Pending, 0, len(servers))
+	for _, s := range servers {
+		res := []*flow.Resource{window}
+		if write {
+			res = append(res, s.Disk.WriteResource())
+			if s != node {
+				res = append(res, node.NICOut, s.NICIn)
+			}
+		} else {
+			res = append(res, s.Disk.ReadResource())
+			if s != node {
+				res = append(res, s.NICOut, node.NICIn)
+			}
+		}
+		if s != node {
+			v.stats.NetworkBytes += share
+		}
+		pendings = append(pendings, v.env.Net.StartTransfer(share, res...))
+	}
+	for _, pd := range pendings {
+		pd.Wait(p)
+	}
+}
+
+// Read implements System. Every read is a cache miss by construction: the
+// PVFS client does not cache data.
+func (v *PVFS) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	v.stats.Reads++
+	v.stats.CacheMisses++
+	p.Sleep(pvfsOpenLatency)
+	v.stripedIO(p, node, f, false)
+}
+
+// Write implements System.
+func (v *PVFS) Write(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	v.stats.Writes++
+	p.Sleep(pvfsCreateLatency)
+	if _, ok := v.start[f]; !ok {
+		v.start[f] = int(rng.HashString(f.Name) % uint64(len(v.env.Workers)))
+	}
+	v.stripedIO(p, node, f, true)
+}
+
+// Stats implements System.
+func (v *PVFS) Stats() Stats { return v.stats }

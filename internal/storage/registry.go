@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// factories maps system names to constructors. Construct a fresh System
+// per experiment: systems hold per-run state (locations, caches, stats).
+var factories = map[string]func() System{
+	"local":          func() System { return NewLocal() },
+	"nfs":            func() System { return NewNFS() },
+	"nfs-m2.4xlarge": func() System { return NewNFSBigServer() },
+	"nfs-sync":       func() System { return NewNFSSync() },
+	"gluster-nufa":   func() System { return NewGluster(NUFA) },
+	"gluster-dist":   func() System { return NewGluster(Distribute) },
+	"pvfs":           func() System { return NewPVFS() },
+	"s3":             func() System { return NewS3() },
+	"s3-nocache":     func() System { return NewS3NoCache() },
+	"xtreemfs":       func() System { return NewXtreemFS() },
+}
+
+// ByName constructs a storage system by its short name.
+func ByName(name string) (System, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown system %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered system names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperSystems lists the five systems compared in Figures 2-7, in the
+// paper's legend order, excluding the local-disk baseline.
+func PaperSystems() []string {
+	return []string{"s3", "nfs", "gluster-nufa", "gluster-dist", "pvfs"}
+}

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// S3 service characteristics inside the EC2 region (2010): generous
+// aggregate throughput, but a noticeable per-request setup cost and a
+// modest per-connection streaming rate — which is why "a large number of
+// small files" is S3's worst case in the paper.
+const (
+	s3GetLatency    = 0.070 // REST GET first-byte latency
+	s3PutLatency    = 0.140 // REST PUT including commit acknowledgement
+	s3PerConnRate   = 25 * units.MB
+	s3AggregateRate = 10 * units.GB // regional service capacity (not a bottleneck)
+)
+
+// S3 models the paper's object-store option. Tasks cannot read S3
+// directly (no POSIX interface), so the workflow management system wraps
+// every job with GETs and PUTs: each input is downloaded to the node's
+// local disk before the job and each output is uploaded after it. A
+// whole-file client cache — possible because the workflows are strictly
+// write-once — ensures each file is downloaded to a node at most once and
+// lets outputs produced on a node be reused there without a round trip.
+type S3 struct {
+	// CacheEnabled toggles the client cache (ablation A-1). The paper's
+	// implementation always caches.
+	CacheEnabled bool
+	label        string
+
+	env        *Env
+	service    *flow.Resource
+	objects    map[*workflow.File]bool                   // objects stored in S3
+	nodeCached map[*cluster.Node]map[*workflow.File]bool // whole-file disk caches
+	pageCaches map[*cluster.Node]*PageCache
+	stats      Stats
+}
+
+// NewS3 returns the paper's S3 client with whole-file caching.
+func NewS3() *S3 { return &S3{CacheEnabled: true, label: "s3"} }
+
+// NewS3NoCache returns the cache-less variant for the ablation.
+func NewS3NoCache() *S3 { return &S3{CacheEnabled: false, label: "s3-nocache"} }
+
+// Name implements System.
+func (s *S3) Name() string { return s.label }
+
+// Description implements System.
+func (s *S3) Description() string {
+	if s.CacheEnabled {
+		return "Amazon S3 with per-node whole-file client cache"
+	}
+	return "Amazon S3, no client cache (every access is a GET/PUT)"
+}
+
+// MinWorkers implements System.
+func (s *S3) MinWorkers() int { return 1 }
+
+// ExtraNodeTypes implements System: S3 is a hosted service, no nodes.
+func (s *S3) ExtraNodeTypes() []cluster.InstanceType { return nil }
+
+// Init implements System.
+func (s *S3) Init(env *Env) error {
+	if err := checkInit(s, env); err != nil {
+		return err
+	}
+	s.env = env
+	s.service = flow.NewResource("s3-service", s3AggregateRate)
+	s.objects = make(map[*workflow.File]bool)
+	s.nodeCached = make(map[*cluster.Node]map[*workflow.File]bool, len(env.Workers))
+	s.pageCaches = make(map[*cluster.Node]*PageCache, len(env.Workers))
+	for _, w := range env.Workers {
+		s.nodeCached[w] = make(map[*workflow.File]bool)
+		s.pageCaches[w] = NewPageCache(w)
+	}
+	return nil
+}
+
+// PreStage implements System: inputs are uploaded to the bucket before the
+// measured window.
+func (s *S3) PreStage(files []*workflow.File) {
+	for _, f := range files {
+		s.objects[f] = true
+	}
+}
+
+// get downloads f from S3 to node's local disk.
+func (s *S3) get(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	if !s.objects[f] {
+		panic(fmt.Sprintf("s3: GET of object %q that was never PUT", f.Name))
+	}
+	s.stats.Gets++
+	s.stats.BytesDownloaded += f.Size
+	s.stats.NetworkBytes += f.Size
+	p.Sleep(s3GetLatency)
+	// Stream from the service through the NIC onto the local disk: the
+	// first of the paper's "each file must be written twice" writes.
+	conn := flow.NewResource("s3-conn", s3PerConnRate)
+	node.Disk.Write(p, f.Size, conn, s.service, node.NICIn)
+	s.pageCaches[node].Insert(f)
+}
+
+// put uploads f from node's local disk to S3.
+func (s *S3) put(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	s.stats.Puts++
+	s.stats.BytesUploaded += f.Size
+	s.stats.NetworkBytes += f.Size
+	p.Sleep(s3PutLatency)
+	conn := flow.NewResource("s3-conn", s3PerConnRate)
+	if s.pageCaches[node].Lookup(f) {
+		// Freshly written data is still in the page cache: upload
+		// straight from memory.
+		s.env.Net.Transfer(p, f.Size, conn, s.service, node.NICOut)
+	} else {
+		node.Disk.Read(p, f.Size, conn, s.service, node.NICOut)
+	}
+	s.objects[f] = true
+}
+
+// Read implements System: ensure a local copy (GET on cache miss), then
+// the task reads it from local disk.
+func (s *S3) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	s.stats.Reads++
+	if s.CacheEnabled && s.nodeCached[node][f] {
+		s.stats.CacheHits++
+	} else {
+		s.stats.CacheMisses++
+		s.get(p, node, f)
+		if s.CacheEnabled {
+			s.nodeCached[node][f] = true
+		}
+	}
+	// Local read of the staged copy (second of the paper's "read twice").
+	if s.pageCaches[node].Lookup(f) {
+		return
+	}
+	node.Disk.Read(p, f.Size)
+	s.pageCaches[node].Insert(f)
+}
+
+// Write implements System: the job writes to local disk, then the wrapper
+// uploads the output and remembers it in the node cache so later jobs on
+// this node can reuse it without a GET.
+func (s *S3) Write(p *sim.Proc, node *cluster.Node, f *workflow.File) {
+	s.stats.Writes++
+	node.Disk.Write(p, f.Size)
+	s.pageCaches[node].Insert(f)
+	s.put(p, node, f)
+	if s.CacheEnabled {
+		s.nodeCached[node][f] = true
+	}
+}
+
+// Stats implements System.
+func (s *S3) Stats() Stats { return s.stats }
+
+// CachedOn reports whether node already holds a local copy of f, letting
+// a data-aware scheduler raise the client cache's hit rate.
+func (s *S3) CachedOn(node *cluster.Node, f *workflow.File) bool {
+	return s.CacheEnabled && s.nodeCached[node][f]
+}

@@ -1,0 +1,119 @@
+// Package storage models the five data-sharing options the paper compares
+// on EC2 — Amazon S3 (with a whole-file client cache), NFS, GlusterFS in
+// NUFA and distribute modes, and PVFS — plus the single-node local-disk
+// baseline and XtreemFS (which the paper tried and abandoned).
+//
+// Every system implements the same System interface: the workflow engine
+// calls Read before a task uses an input file on a node and Write after
+// the task produces an output. Each implementation translates those calls
+// into transfers over the shared resource fabric (node disks and NICs, a
+// dedicated file-server node, or an S3 service), so contention between
+// concurrent tasks — the effect the paper is actually measuring — emerges
+// from the max-min fair flow network rather than from closed-form
+// formulas.
+package storage
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/workflow"
+)
+
+// Env wires a storage system to a provisioned cluster.
+type Env struct {
+	E       *sim.Engine
+	Net     *flow.Net
+	Workers []*cluster.Node
+	// Extra holds the service nodes the system requested via
+	// ExtraNodeTypes, in the same order.
+	Extra []*cluster.Node
+	R     *rng.RNG
+}
+
+// System is a data-sharing option for workflow files.
+type System interface {
+	// Name is the short identifier used in figures ("gluster-nufa").
+	Name() string
+	// Description is a one-line summary for reports.
+	Description() string
+	// MinWorkers is the smallest worker count the system supports
+	// (GlusterFS and PVFS need two nodes to form a valid file system).
+	MinWorkers() int
+	// ExtraNodeTypes lists service nodes to provision alongside the
+	// workers (e.g. NFS's dedicated m1.xlarge file server).
+	ExtraNodeTypes() []cluster.InstanceType
+	// Init binds the system to the cluster. It may start background
+	// service processes on the engine.
+	Init(env *Env) error
+	// PreStage places the workflow's input files into the shared store.
+	// Per the paper's methodology this consumes no simulated time (inputs
+	// are staged before the measured window).
+	PreStage(files []*workflow.File)
+	// Read makes f's contents available to a task on node, charging the
+	// simulated time the access costs.
+	Read(p *sim.Proc, node *cluster.Node, f *workflow.File)
+	// Write publishes f, produced by a task on node.
+	Write(p *sim.Proc, node *cluster.Node, f *workflow.File)
+	// Stats reports cumulative counters for cost accounting and reports.
+	Stats() Stats
+}
+
+// Stats aggregates the counters every system maintains. Fields not
+// relevant to a given system stay zero.
+type Stats struct {
+	Reads  int64
+	Writes int64
+
+	// Bytes that crossed the network (inter-node or to/from S3).
+	NetworkBytes float64
+
+	// Client-side cache behaviour (page cache or S3 whole-file cache).
+	CacheHits   int64
+	CacheMisses int64
+
+	// NFS server page-cache behaviour.
+	ServerCacheHits   int64
+	ServerCacheMisses int64
+
+	// S3 request counters (drive the cost model's request fees).
+	Gets            int64
+	Puts            int64
+	BytesDownloaded float64
+	BytesUploaded   float64
+}
+
+// checkInit validates the Env handed to Init.
+func checkInit(s System, env *Env) error {
+	if len(env.Workers) < s.MinWorkers() {
+		return fmt.Errorf("storage: %s requires at least %d workers, got %d",
+			s.Name(), s.MinWorkers(), len(env.Workers))
+	}
+	if want, got := len(s.ExtraNodeTypes()), len(env.Extra); want != got {
+		return fmt.Errorf("storage: %s needs %d service node(s), cluster has %d",
+			s.Name(), want, got)
+	}
+	return nil
+}
+
+// readRemote charges a read of size bytes from owner's disk into reader,
+// skipping the NICs when both are the same node.
+func readRemote(p *sim.Proc, owner, reader *cluster.Node, size float64) {
+	if owner == reader {
+		owner.Disk.Read(p, size)
+		return
+	}
+	owner.Disk.Read(p, size, owner.NICOut, reader.NICIn)
+}
+
+// writeRemote charges a write of size bytes from writer onto owner's disk.
+func writeRemote(p *sim.Proc, writer, owner *cluster.Node, size float64) {
+	if owner == writer {
+		owner.Disk.Write(p, size)
+		return
+	}
+	owner.Disk.Write(p, size, writer.NICOut, owner.NICIn)
+}

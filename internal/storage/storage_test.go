@@ -1,0 +1,430 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/flow"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// rig bundles a small simulated deployment for storage tests.
+type rig struct {
+	e   *sim.Engine
+	net *flow.Net
+	c   *cluster.Cluster
+	sys System
+}
+
+// newRig provisions `workers` c1.xlarge nodes plus whatever service nodes
+// the system requests, and initializes the system.
+func newRig(t *testing.T, sys System, workers int) *rig {
+	t.Helper()
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, err := cluster.New(e, net, rng.New(7), cluster.Config{
+		Workers:    workers,
+		WorkerType: cluster.C1XLarge(),
+		Extra:      sys.ExtraNodeTypes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(11)}
+	if err := sys.Init(env); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{e: e, net: net, c: c, sys: sys}
+}
+
+// timed runs fn in a process and returns the simulated seconds it took.
+func (r *rig) timed(fn func(p *sim.Proc)) float64 {
+	var took float64
+	r.e.Go("op", func(p *sim.Proc) {
+		start := p.Now()
+		fn(p)
+		took = p.Now() - start
+	})
+	r.e.Run()
+	return took
+}
+
+func wf(name string, size float64) *workflow.File {
+	return &workflow.File{Name: name, Size: size}
+}
+
+func TestLocalReadWriteTiming(t *testing.T) {
+	r := newRig(t, NewLocal(), 1)
+	n := r.c.Workers[0]
+	f := wf("data", 800*units.MB)
+	took := r.timed(func(p *sim.Proc) {
+		r.sys.Write(p, n, f) // first write at 80 MB/s -> 10 s
+	})
+	if math.Abs(took-10) > 0.1 {
+		t.Errorf("local first write of 800 MB took %.2f s, want ~10 (80 MB/s RAID0)", took)
+	}
+	// The file is in the page cache; a re-read is nearly free.
+	took = r.timed(func(p *sim.Proc) { r.sys.Read(p, n, f) })
+	if took > 0.01 {
+		t.Errorf("cached re-read took %.3f s, want ~0", took)
+	}
+	if r.sys.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", r.sys.Stats().CacheHits)
+	}
+}
+
+func TestLocalRejectsMultiNode(t *testing.T) {
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, err := cluster.New(e, net, rng.New(7), cluster.Config{Workers: 2, WorkerType: cluster.C1XLarge()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewLocal()
+	env := &Env{E: e, Net: net, Workers: c.Workers, R: rng.New(1)}
+	if err := sys.Init(env); err == nil {
+		t.Error("local system accepted a 2-node cluster")
+	}
+}
+
+func TestPageCacheMemoryPressure(t *testing.T) {
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, err := cluster.New(e, net, rng.New(7), cluster.Config{Workers: 1, WorkerType: cluster.C1XLarge()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := c.Workers[0]
+	pc := NewPageCache(node)
+	big := wf("velocity-model", 2*units.GB)
+	pc.Insert(big)
+	if !pc.Lookup(big) {
+		t.Fatal("file not cached with idle memory")
+	}
+	// A Broadband-style task claims 6 GB of the 7 GiB node: capacity
+	// drops below the cached file's size and pressure evicts it.
+	node.Memory.TryAcquire(cluster.MemoryMB(6 * units.GiB))
+	if pc.Lookup(big) {
+		t.Error("page cache survived memory pressure; Broadband would not be memory-limited")
+	}
+	node.Memory.Release(cluster.MemoryMB(6 * units.GiB))
+}
+
+func TestPageCacheSkipsOversizedFiles(t *testing.T) {
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, _ := cluster.New(e, net, rng.New(7), cluster.Config{Workers: 1, WorkerType: cluster.C1XLarge()})
+	pc := NewPageCache(c.Workers[0])
+	huge := wf("huge", 100*units.GB)
+	pc.Insert(huge)
+	if pc.Size() != 0 {
+		t.Error("oversized file was cached")
+	}
+}
+
+func TestNFSReadCrossesServerNIC(t *testing.T) {
+	r := newRig(t, NewNFS(), 2)
+	f := wf("input", 1.2*units.GB)
+	r.sys.PreStage([]*workflow.File{f})
+	took := r.timed(func(p *sim.Proc) {
+		r.sys.Read(p, r.c.Workers[0], f)
+	})
+	// Pre-staged files are warm in the 16 GB server cache, so the read
+	// moves at the server's effective rate: 120 MB/s degraded by the
+	// 2-client incast factor (1.30) -> 1.2 GB / 92.3 MB/s = 13 s.
+	want := 1.2 * units.GB / (120 * units.MB / 1.30)
+	if math.Abs(took-want) > 0.5 {
+		t.Errorf("NFS cached read took %.2f s, want ~%.1f (server-path bound)", took, want)
+	}
+	if r.sys.Stats().ServerCacheHits != 1 {
+		t.Errorf("server cache hits = %d, want 1", r.sys.Stats().ServerCacheHits)
+	}
+}
+
+func TestNFSAsyncWriteFasterThanSync(t *testing.T) {
+	asyncRig := newRig(t, NewNFS(), 1)
+	f1 := wf("out", 600*units.MB)
+	asyncTook := asyncRig.timed(func(p *sim.Proc) {
+		asyncRig.sys.Write(p, asyncRig.c.Workers[0], f1)
+	})
+	syncRig := newRig(t, NewNFSSync(), 1)
+	f2 := wf("out", 600*units.MB)
+	syncTook := syncRig.timed(func(p *sim.Proc) {
+		syncRig.sys.Write(p, syncRig.c.Workers[0], f2)
+	})
+	// Async lands in server memory at NIC speed (5 s); sync waits for the
+	// server's uninitialized disk (80 MB/s -> 7.5 s, gated by NIC too).
+	if asyncTook >= syncTook {
+		t.Errorf("async write (%.2f s) not faster than sync (%.2f s)", asyncTook, syncTook)
+	}
+	if math.Abs(asyncTook-5) > 0.5 {
+		t.Errorf("async write took %.2f s, want ~5 (NIC-bound)", asyncTook)
+	}
+}
+
+func TestNFSManyClientsContendOnServer(t *testing.T) {
+	makespan := func(workers int) float64 {
+		r := newRig(t, NewNFS(), workers)
+		files := make([]*workflow.File, workers)
+		for i := range files {
+			files[i] = wf(fileName(i), 600*units.MB)
+		}
+		r.sys.PreStage(files)
+		for i, n := range r.c.Workers {
+			i, n := i, n
+			r.e.Go("reader", func(p *sim.Proc) { r.sys.Read(p, n, files[i]) })
+		}
+		r.e.Run()
+		return r.e.Now()
+	}
+	one, four := makespan(1), makespan(4)
+	// 4x the data through one server plus the incast degradation
+	// (1.9/1.0): super-linear collapse, the paper's Broadband-on-NFS
+	// story in miniature.
+	if ratio := four / one; ratio < 4.5 || ratio > 9 {
+		t.Errorf("4-client/1-client NFS read makespan ratio = %.2f, want ~7.6 (incast collapse)", ratio)
+	}
+}
+
+func fileName(i int) string { return "f" + string(rune('a'+i)) }
+
+func TestGlusterNUFAWritesLocally(t *testing.T) {
+	r := newRig(t, NewGluster(NUFA), 2)
+	f := wf("out", 800*units.MB)
+	took := r.timed(func(p *sim.Proc) {
+		r.sys.Write(p, r.c.Workers[0], f)
+	})
+	// Local RAID0 first write at 80 MB/s: no NIC involvement.
+	if math.Abs(took-10) > 0.1 {
+		t.Errorf("NUFA write took %.2f s, want ~10 (local disk only)", took)
+	}
+	if r.sys.Stats().NetworkBytes != 0 {
+		t.Errorf("NUFA write moved %.0f network bytes, want 0", r.sys.Stats().NetworkBytes)
+	}
+}
+
+func TestGlusterNUFARemoteReadCrossesNetwork(t *testing.T) {
+	r := newRig(t, NewGluster(NUFA), 2)
+	f := wf("out", 1.2*units.GB)
+	r.e.Go("writer", func(p *sim.Proc) {
+		r.sys.Write(p, r.c.Workers[0], f)
+		// Reader on the other node: owner disk read + both NICs.
+		r.sys.Read(p, r.c.Workers[1], f)
+	})
+	r.e.Run()
+	st := r.sys.Stats()
+	if st.NetworkBytes != 1.2*units.GB {
+		t.Errorf("remote read network bytes = %s, want 1.2 GB", units.Bytes(st.NetworkBytes))
+	}
+}
+
+func TestGlusterDistributePlacementByHash(t *testing.T) {
+	r := newRig(t, NewGluster(Distribute), 4)
+	g := r.sys.(*Gluster)
+	// Hash placement must be stable and spread across nodes.
+	counts := make(map[*cluster.Node]int)
+	r.e.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			f := wf("file-"+string(rune('a'+i%26))+string(rune('0'+i/26)), units.MB)
+			r.sys.Write(p, r.c.Workers[0], f)
+			counts[g.loc[f]]++
+		}
+	})
+	r.e.Run()
+	if len(counts) < 3 {
+		t.Errorf("hash placement used only %d of 4 nodes", len(counts))
+	}
+	if st := r.sys.Stats(); st.NetworkBytes == 0 {
+		t.Error("distribute-mode writes from one node moved no network bytes; placement not remote")
+	}
+}
+
+func TestGlusterRequiresTwoNodes(t *testing.T) {
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, _ := cluster.New(e, net, rng.New(7), cluster.Config{Workers: 1, WorkerType: cluster.C1XLarge()})
+	sys := NewGluster(NUFA)
+	if err := sys.Init(&Env{E: e, Net: net, Workers: c.Workers, R: rng.New(1)}); err == nil {
+		t.Error("GlusterFS accepted a 1-node cluster; the paper needs >=2")
+	}
+}
+
+func TestGlusterReadUnknownFilePanics(t *testing.T) {
+	r := newRig(t, NewGluster(NUFA), 2)
+	r.e.Go("reader", func(p *sim.Proc) {
+		r.sys.Read(p, r.c.Workers[0], wf("ghost", units.MB))
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading a never-written file")
+		}
+	}()
+	r.e.Run()
+}
+
+func TestPVFSSingleReaderCappedByClientWindow(t *testing.T) {
+	r := newRig(t, NewPVFS(), 4)
+	f := wf("big", 2*units.GB)
+	r.sys.PreStage([]*workflow.File{f})
+	took := r.timed(func(p *sim.Proc) {
+		r.sys.Read(p, r.c.Workers[0], f)
+	})
+	// One descriptor moves at the client window rate: 2 GB / 25 MB/s.
+	want := 2 * units.GB / (25 * units.MB)
+	if math.Abs(took-want) > 2 {
+		t.Errorf("striped 2 GB read took %.1f s, want ~%.1f (client window bound)", took, want)
+	}
+}
+
+func TestPVFSConcurrentReadersScaleAcrossServers(t *testing.T) {
+	// Different clients have independent windows, and stripes spread the
+	// load over every server: four concurrent 2 GB reads finish together
+	// in roughly the single-read time, not 4x it.
+	r := newRig(t, NewPVFS(), 4)
+	files := make([]*workflow.File, 4)
+	for i := range files {
+		files[i] = wf(fileName(i), 2*units.GB)
+	}
+	r.sys.PreStage(files)
+	for i, n := range r.c.Workers {
+		i, n := i, n
+		r.e.Go("reader", func(p *sim.Proc) { r.sys.Read(p, n, files[i]) })
+	}
+	r.e.Run()
+	single := 2 * units.GB / (25 * units.MB)
+	if r.e.Now() > single*1.6 {
+		t.Errorf("4 concurrent striped reads took %.1f s, want ~%.1f (server-side parallelism)",
+			r.e.Now(), single)
+	}
+}
+
+func TestPVFSSmallFilePenaltyDominates(t *testing.T) {
+	r := newRig(t, NewPVFS(), 2)
+	small := wf("small", 100*units.KB)
+	took := r.timed(func(p *sim.Proc) {
+		r.sys.Write(p, r.c.Workers[0], small)
+		r.sys.Read(p, r.c.Workers[1], small)
+	})
+	// Almost all of the time must be the fixed metadata latencies, not
+	// the 100 KB payload.
+	if took < pvfsCreateLatency+pvfsOpenLatency {
+		t.Errorf("small-file ops took %.3f s, less than metadata floor", took)
+	}
+	if took > 3*(pvfsCreateLatency+pvfsOpenLatency) {
+		t.Errorf("small-file ops took %.3f s; payload should be negligible", took)
+	}
+}
+
+func TestS3CachePreventsRepeatGETs(t *testing.T) {
+	r := newRig(t, NewS3(), 2)
+	f := wf("input", 10*units.MB)
+	r.sys.PreStage([]*workflow.File{f})
+	n0 := r.c.Workers[0]
+	r.e.Go("reader", func(p *sim.Proc) {
+		r.sys.Read(p, n0, f)
+		r.sys.Read(p, n0, f)             // same node: served from the client cache
+		r.sys.Read(p, r.c.Workers[1], f) // different node: one more GET
+	})
+	r.e.Run()
+	st := r.sys.Stats()
+	if st.Gets != 2 {
+		t.Errorf("GETs = %d, want 2 (once per node)", st.Gets)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.CacheHits)
+	}
+}
+
+func TestS3NoCacheRepeatsGETs(t *testing.T) {
+	r := newRig(t, NewS3NoCache(), 1)
+	f := wf("input", 10*units.MB)
+	r.sys.PreStage([]*workflow.File{f})
+	r.e.Go("reader", func(p *sim.Proc) {
+		r.sys.Read(p, r.c.Workers[0], f)
+		r.sys.Read(p, r.c.Workers[0], f)
+	})
+	r.e.Run()
+	if st := r.sys.Stats(); st.Gets != 2 {
+		t.Errorf("GETs = %d, want 2 without the client cache", st.Gets)
+	}
+}
+
+func TestS3WriteUploadsAndCounts(t *testing.T) {
+	r := newRig(t, NewS3(), 1)
+	f := wf("out", 50*units.MB)
+	took := r.timed(func(p *sim.Proc) {
+		r.sys.Write(p, r.c.Workers[0], f)
+	})
+	st := r.sys.Stats()
+	if st.Puts != 1 {
+		t.Errorf("PUTs = %d, want 1", st.Puts)
+	}
+	if st.BytesUploaded != 50*units.MB {
+		t.Errorf("uploaded = %s, want 50 MB", units.Bytes(st.BytesUploaded))
+	}
+	// Disk write (50/80 = 0.625 s) + upload at the 25 MB/s connection cap
+	// (2 s) + PUT latency.
+	want := 0.625 + 2 + s3PutLatency
+	if math.Abs(took-want) > 0.2 {
+		t.Errorf("S3 write took %.2f s, want ~%.2f (double write + capped upload)", took, want)
+	}
+}
+
+func TestS3ReadOfUnstagedObjectPanics(t *testing.T) {
+	r := newRig(t, NewS3(), 1)
+	r.e.Go("reader", func(p *sim.Proc) {
+		r.sys.Read(p, r.c.Workers[0], wf("ghost", units.MB))
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for GET of missing object")
+		}
+	}()
+	r.e.Run()
+}
+
+func TestXtreemFSMuchSlowerPerOp(t *testing.T) {
+	x := newRig(t, NewXtreemFS(), 2)
+	g := newRig(t, NewGluster(NUFA), 2)
+	small := wf("s", units.MB)
+	xt := x.timed(func(p *sim.Proc) { x.sys.Write(p, x.c.Workers[0], small) })
+	small2 := wf("s", units.MB)
+	gt := g.timed(func(p *sim.Proc) { g.sys.Write(p, g.c.Workers[0], small2) })
+	if xt < 5*gt {
+		t.Errorf("XtreemFS small write (%.3f s) not >5x GlusterFS (%.3f s)", xt, gt)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		sys, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if sys.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, sys.Name())
+		}
+		if sys.Description() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("expected error for unknown system")
+	}
+	if len(PaperSystems()) != 5 {
+		t.Errorf("PaperSystems = %d entries, want the paper's 5", len(PaperSystems()))
+	}
+}
+
+func TestFreshSystemsPerRun(t *testing.T) {
+	a, _ := ByName("s3")
+	b, _ := ByName("s3")
+	if a == b {
+		t.Error("ByName returned a shared instance; state would leak across runs")
+	}
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports the trace as CSV (one row per task execution) for
+// external plotting: task id, transformation, node, start, exec-start and
+// end timestamps, plus the derived staging and execution durations.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"task", "transformation", "node", "start", "exec", "end", "staging_s", "execution_s"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, s := range t.Spans {
+		row := []string{
+			s.Task.ID,
+			s.Task.Transformation,
+			s.Node,
+			fmt.Sprintf("%.3f", s.Start),
+			fmt.Sprintf("%.3f", s.Exec),
+			fmt.Sprintf("%.3f", s.WriteEnd),
+			fmt.Sprintf("%.3f", s.Exec-s.Start),
+			fmt.Sprintf("%.3f", s.WriteEnd-s.Exec),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row for %s: %w", s.Task.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

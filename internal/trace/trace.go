@@ -1,0 +1,137 @@
+// Package trace post-processes task execution spans into the artifacts a
+// performance study needs: per-node Gantt charts, utilization timelines
+// and phase summaries. It consumes the spans the workflow engine records.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/wms"
+)
+
+// Trace wraps a run's spans with derived views.
+type Trace struct {
+	Spans    []wms.Span
+	Makespan float64
+}
+
+// New builds a trace from engine output.
+func New(spans []wms.Span, makespan float64) *Trace {
+	return &Trace{Spans: spans, Makespan: makespan}
+}
+
+// NodeNames returns the distinct node names in first-seen order.
+func (t *Trace) NodeNames() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, s := range t.Spans {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+			names = append(names, s.Node)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BusySeconds returns per-node slot-occupied seconds.
+func (t *Trace) BusySeconds() map[string]float64 {
+	busy := make(map[string]float64)
+	for _, s := range t.Spans {
+		busy[s.Node] += s.WriteEnd - s.Start
+	}
+	return busy
+}
+
+// StageSeconds splits each task's span into staging (input reads +
+// startup) and execution (compute + output writes), summed per
+// transformation. It quantifies where a storage system hurts.
+func (t *Trace) StageSeconds() (staging, execution map[string]float64) {
+	staging = make(map[string]float64)
+	execution = make(map[string]float64)
+	for _, s := range t.Spans {
+		name := s.Task.Transformation
+		staging[name] += s.Exec - s.Start
+		execution[name] += s.WriteEnd - s.Exec
+	}
+	return staging, execution
+}
+
+// Utilization returns the fraction of the makespan each node's slots were
+// busy, assuming slots = cores used by this trace's scheduler (the caller
+// supplies coresPerNode).
+func (t *Trace) Utilization(coresPerNode int) map[string]float64 {
+	util := make(map[string]float64)
+	if t.Makespan <= 0 || coresPerNode <= 0 {
+		return util
+	}
+	for node, busy := range t.BusySeconds() {
+		util[node] = busy / (t.Makespan * float64(coresPerNode))
+	}
+	return util
+}
+
+// Gantt renders a coarse per-node occupancy chart: one row per node, time
+// bucketed into width columns, each cell showing how many tasks were
+// running (0-9, '+' for more).
+func (t *Trace) Gantt(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	nodes := t.NodeNames()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gantt (one column = %s)\n", units.Duration(t.Makespan/float64(width)))
+	for _, node := range nodes {
+		counts := make([]int, width)
+		for _, s := range t.Spans {
+			if s.Node != node {
+				continue
+			}
+			lo := int(s.Start / t.Makespan * float64(width))
+			hi := int(s.WriteEnd / t.Makespan * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				counts[i]++
+			}
+		}
+		row := make([]byte, width)
+		for i, c := range counts {
+			switch {
+			case c == 0:
+				row[i] = '.'
+			case c > 9:
+				row[i] = '+'
+			default:
+				row[i] = byte('0' + c)
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %s\n", node, row)
+	}
+	return b.String()
+}
+
+// Summary renders a one-paragraph digest of the run.
+func (t *Trace) Summary(coresPerNode int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks=%d makespan=%s\n", len(t.Spans), units.Duration(t.Makespan))
+	staging, execution := t.StageSeconds()
+	names := make([]string, 0, len(staging))
+	for n := range staging {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-14s staging %8s   execution %8s\n",
+			n, units.Duration(staging[n]), units.Duration(execution[n]))
+	}
+	util := t.Utilization(coresPerNode)
+	for _, node := range t.NodeNames() {
+		fmt.Fprintf(&b, "  %-10s utilization %.0f%%\n", node, util[node]*100)
+	}
+	return b.String()
+}

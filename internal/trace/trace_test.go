@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ec2wfsim/internal/wms"
+	"ec2wfsim/internal/workflow"
+)
+
+func sampleSpans() []wms.Span {
+	t1 := &workflow.Task{ID: "a", Transformation: "proj"}
+	t2 := &workflow.Task{ID: "b", Transformation: "proj"}
+	t3 := &workflow.Task{ID: "c", Transformation: "add"}
+	return []wms.Span{
+		{Task: t1, Node: "worker0", Start: 0, Exec: 2, WriteEnd: 10},
+		{Task: t2, Node: "worker1", Start: 0, Exec: 1, WriteEnd: 8},
+		{Task: t3, Node: "worker0", Start: 10, Exec: 12, WriteEnd: 20},
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	tr := New(sampleSpans(), 20)
+	busy := tr.BusySeconds()
+	if busy["worker0"] != 20 {
+		t.Errorf("worker0 busy = %g, want 20", busy["worker0"])
+	}
+	if busy["worker1"] != 8 {
+		t.Errorf("worker1 busy = %g, want 8", busy["worker1"])
+	}
+	util := tr.Utilization(1)
+	if util["worker0"] != 1.0 {
+		t.Errorf("worker0 utilization = %g, want 1.0", util["worker0"])
+	}
+	if util["worker1"] != 0.4 {
+		t.Errorf("worker1 utilization = %g, want 0.4", util["worker1"])
+	}
+}
+
+func TestStageSeconds(t *testing.T) {
+	tr := New(sampleSpans(), 20)
+	staging, execution := tr.StageSeconds()
+	if staging["proj"] != 3 { // 2 + 1
+		t.Errorf("proj staging = %g, want 3", staging["proj"])
+	}
+	if execution["proj"] != 15 { // 8 + 7
+		t.Errorf("proj execution = %g, want 15", execution["proj"])
+	}
+	if staging["add"] != 2 || execution["add"] != 8 {
+		t.Errorf("add split = %g/%g, want 2/8", staging["add"], execution["add"])
+	}
+}
+
+func TestNodeNamesSorted(t *testing.T) {
+	tr := New(sampleSpans(), 20)
+	names := tr.NodeNames()
+	if len(names) != 2 || names[0] != "worker0" || names[1] != "worker1" {
+		t.Errorf("NodeNames = %v", names)
+	}
+}
+
+func TestGanttRendersEveryNode(t *testing.T) {
+	tr := New(sampleSpans(), 20)
+	g := tr.Gantt(40)
+	if !strings.Contains(g, "worker0") || !strings.Contains(g, "worker1") {
+		t.Errorf("gantt missing nodes:\n%s", g)
+	}
+	// worker1 is idle for the second half: its row must contain dots.
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "worker1") && !strings.Contains(line, ".") {
+			t.Errorf("worker1 row shows no idle time: %s", line)
+		}
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	tr := New(sampleSpans(), 20)
+	s := tr.Summary(1)
+	for _, want := range []string{"tasks=3", "proj", "add", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New(nil, 0)
+	if len(tr.NodeNames()) != 0 {
+		t.Error("empty trace has nodes")
+	}
+	if u := tr.Utilization(8); len(u) != 0 {
+		t.Error("empty trace has utilization entries")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New(sampleSpans(), 20)
+	var buf strings.Builder
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 spans
+		t.Fatalf("CSV lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "task,transformation,node,start") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a,proj,worker0,0.000,2.000,10.000,2.000,8.000") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}

@@ -1,0 +1,117 @@
+// Package wfprof reimplements the workflow profiler the paper uses to
+// build Table I (http://pegasus.isi.edu/wfprof): it measures each
+// application's I/O, memory and CPU demands by aggregating over every task
+// — the simulated analogue of tracing all tasks with ptrace — and
+// classifies the application as Low/Medium/High in each category:
+//
+//	Application  I/O     Memory  CPU
+//	Montage      High    Low     Low
+//	Broadband    Medium  High    Medium
+//	Epigenome    Low     Medium  High
+package wfprof
+
+import (
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+// Class is a Table I resource-usage category.
+type Class int
+
+// Classes in increasing order.
+const (
+	Low Class = iota
+	Medium
+	High
+)
+
+func (c Class) String() string {
+	switch c {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	}
+	return "High"
+}
+
+// Classification thresholds, calibrated so the three paper applications
+// land in their Table I cells with comfortable margins between classes.
+//
+// I/O intensity is the unique data footprint per CPU-second: repeated
+// reads of a file hit the page cache on real systems, so they do not make
+// an application I/O-bound. Memory is the runtime-weighted mean of task
+// peak RSS (one brief large task does not make a workflow memory-hungry;
+// Broadband's hours of multi-GB simulations do). CPU intensity is the
+// inverse of I/O intensity: core-seconds spent per MB of data produced or
+// consumed.
+const (
+	ioHigh   = 0.60 * units.MB // bytes per CPU-second
+	ioMedium = 0.34 * units.MB
+
+	memHigh   = 1.0 * units.GB // runtime-weighted mean peak RSS
+	memMedium = 0.45 * units.GB
+
+	cpuHigh   = 3.0 / units.MB // CPU-seconds per byte
+	cpuMedium = 1.8 / units.MB
+)
+
+// Profile is the profiler's output for one application.
+type Profile struct {
+	Name  string
+	Stats workflow.Stats
+
+	// UniqueBytes is the application's data footprint: every file it
+	// touches counted once.
+	UniqueBytes float64
+	// CPUSeconds is the total task computation time.
+	CPUSeconds float64
+	// IOIntensity = UniqueBytes / CPUSeconds.
+	IOIntensity float64
+	// WeightedPeakMemory is the runtime-weighted mean of task peak RSS.
+	WeightedPeakMemory float64
+	// MaxPeakMemory is the single largest task RSS.
+	MaxPeakMemory float64
+	// CPUPerByte = CPUSeconds / UniqueBytes.
+	CPUPerByte float64
+
+	IOClass     Class
+	MemoryClass Class
+	CPUClass    Class
+}
+
+// Analyze profiles a finalized workflow.
+func Analyze(w *workflow.Workflow) Profile {
+	s := w.ComputeStats()
+	p := Profile{Name: w.Name, Stats: s}
+	p.UniqueBytes = s.InputBytes + s.OutputBytes + s.IntermediateBytes
+	p.CPUSeconds = s.TotalRuntime
+	p.MaxPeakMemory = s.MaxPeakMemory
+
+	var memWeighted float64
+	for _, t := range w.Tasks {
+		memWeighted += t.Runtime * t.PeakMemory
+	}
+	if p.CPUSeconds > 0 {
+		p.WeightedPeakMemory = memWeighted / p.CPUSeconds
+		p.IOIntensity = p.UniqueBytes / p.CPUSeconds
+	}
+	if p.UniqueBytes > 0 {
+		p.CPUPerByte = p.CPUSeconds / p.UniqueBytes
+	}
+
+	p.IOClass = classify(p.IOIntensity, ioHigh, ioMedium)
+	p.MemoryClass = classify(p.WeightedPeakMemory, memHigh, memMedium)
+	p.CPUClass = classify(p.CPUPerByte, cpuHigh, cpuMedium)
+	return p
+}
+
+func classify(v, high, medium float64) Class {
+	switch {
+	case v >= high:
+		return High
+	case v >= medium:
+		return Medium
+	}
+	return Low
+}

@@ -1,0 +1,102 @@
+package wfprof
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/units"
+	"ec2wfsim/internal/workflow"
+)
+
+func analyze(t *testing.T, name string) Profile {
+	t.Helper()
+	w, err := apps.PaperScale(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(w)
+}
+
+// The headline: reproduce Table I exactly.
+func TestTableIClassification(t *testing.T) {
+	want := map[string][3]Class{
+		"montage":   {High, Low, Low}, // I/O, Memory, CPU
+		"broadband": {Medium, High, Medium},
+		"epigenome": {Low, Medium, High},
+	}
+	for name, classes := range want {
+		p := analyze(t, name)
+		if p.IOClass != classes[0] {
+			t.Errorf("%s I/O = %s, want %s", name, p.IOClass, classes[0])
+		}
+		if p.MemoryClass != classes[1] {
+			t.Errorf("%s Memory = %s, want %s", name, p.MemoryClass, classes[1])
+		}
+		if p.CPUClass != classes[2] {
+			t.Errorf("%s CPU = %s, want %s", name, p.CPUClass, classes[2])
+		}
+	}
+}
+
+func TestProfileInternalConsistency(t *testing.T) {
+	for _, name := range apps.Names() {
+		p := analyze(t, name)
+		if p.UniqueBytes <= 0 || p.CPUSeconds <= 0 {
+			t.Errorf("%s: non-positive footprint/CPU", name)
+		}
+		if got := p.IOIntensity * p.CPUPerByte; got < 0.999 || got > 1.001 {
+			t.Errorf("%s: IOIntensity and CPUPerByte not inverse (product %g)", name, got)
+		}
+		if p.WeightedPeakMemory > p.MaxPeakMemory {
+			t.Errorf("%s: weighted mean memory %s exceeds max %s", name,
+				units.Bytes(p.WeightedPeakMemory), units.Bytes(p.MaxPeakMemory))
+		}
+	}
+}
+
+func TestClassOrderingAndStrings(t *testing.T) {
+	if !(Low < Medium && Medium < High) {
+		t.Error("class ordering broken")
+	}
+	if Low.String() != "Low" || Medium.String() != "Medium" || High.String() != "High" {
+		t.Error("class labels wrong")
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	if classify(10, 10, 5) != High {
+		t.Error("value at high threshold should be High")
+	}
+	if classify(7, 10, 5) != Medium {
+		t.Error("value between thresholds should be Medium")
+	}
+	if classify(1, 10, 5) != Low {
+		t.Error("value below medium threshold should be Low")
+	}
+}
+
+func TestAnalyzeEmptyWorkflow(t *testing.T) {
+	w := workflow.New("empty")
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := Analyze(w)
+	if p.IOClass != Low || p.MemoryClass != Low || p.CPUClass != Low {
+		t.Error("empty workflow should classify Low everywhere")
+	}
+}
+
+// The weighted-memory metric must separate Broadband (long-running
+// multi-GB tasks) from Montage (a single large mAdd amid thousands of
+// small tasks) — max-RSS alone would not.
+func TestWeightedMemorySeparatesApplications(t *testing.T) {
+	m := analyze(t, "montage")
+	b := analyze(t, "broadband")
+	if m.WeightedPeakMemory >= b.WeightedPeakMemory/5 {
+		t.Errorf("montage weighted memory %s not well below broadband %s",
+			units.Bytes(m.WeightedPeakMemory), units.Bytes(b.WeightedPeakMemory))
+	}
+	if m.MaxPeakMemory < 1*units.GB {
+		t.Error("montage max RSS should exceed 1 GB (mAdd) — the reason max alone cannot classify")
+	}
+}

@@ -1,0 +1,111 @@
+package wms
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/units"
+)
+
+func TestFailureInjectionRetriesAndCompletes(t *testing.T) {
+	e, c, sys := deploy(t, "local", 1)
+	w := fanWorkflow(t, 64, 5, 100*units.MB)
+	res, err := Run(e, Options{
+		Cluster:     c,
+		Storage:     sys,
+		FailureRate: 0.2,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) != 64 {
+		t.Errorf("completed %d of 64 tasks despite retries", len(res.Spans))
+	}
+	if res.Failures == 0 {
+		t.Error("20% failure rate over 64 tasks injected nothing")
+	}
+	if res.Retries != res.Failures {
+		t.Errorf("retries %d != failures %d (transient failures always retry)", res.Retries, res.Failures)
+	}
+}
+
+func TestFailuresLengthenMakespan(t *testing.T) {
+	run := func(rate float64) float64 {
+		e, c, sys := deploy(t, "local", 1)
+		w := fanWorkflow(t, 64, 5, 100*units.MB)
+		res, err := Run(e, Options{Cluster: c, Storage: sys, FailureRate: rate}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	clean, flaky := run(0), run(0.3)
+	if flaky <= clean {
+		t.Errorf("failures did not lengthen makespan (%.1f vs %.1f)", flaky, clean)
+	}
+}
+
+func TestFailureInjectionDeterministic(t *testing.T) {
+	run := func() (float64, int64) {
+		e, c, sys := deploy(t, "local", 1)
+		w := fanWorkflow(t, 32, 5, 100*units.MB)
+		res, err := Run(e, Options{Cluster: c, Storage: sys, FailureRate: 0.25, FailureSeed: 99}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan, res.Failures
+	}
+	m1, f1 := run()
+	m2, f2 := run()
+	if m1 != m2 || f1 != f2 {
+		t.Errorf("failure injection not deterministic: (%g,%d) vs (%g,%d)", m1, f1, m2, f2)
+	}
+}
+
+func TestMaxRetriesBoundsAttempts(t *testing.T) {
+	// Even at a brutal failure rate, each task fails at most MaxRetries
+	// times and the workflow completes.
+	e, c, sys := deploy(t, "local", 1)
+	w := fanWorkflow(t, 16, 2, 100*units.MB)
+	res, err := Run(e, Options{
+		Cluster:     c,
+		Storage:     sys,
+		FailureRate: 0.95,
+		MaxRetries:  2,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures > 16*2 {
+		t.Errorf("failures = %d exceed tasks x MaxRetries = 32", res.Failures)
+	}
+	if len(res.Spans) != 16 {
+		t.Errorf("completed %d of 16 tasks", len(res.Spans))
+	}
+}
+
+func TestCertainFailureRejected(t *testing.T) {
+	e, c, sys := deploy(t, "local", 1)
+	w := fanWorkflow(t, 1, 1, 0)
+	if _, err := Run(e, Options{Cluster: c, Storage: sys, FailureRate: 1.0}, w); err == nil {
+		t.Error("FailureRate = 1.0 should be rejected")
+	}
+}
+
+func TestFailureReleasesMemory(t *testing.T) {
+	// Memory-heavy tasks with failures must not leak the memory
+	// semaphore: the run completing at all proves release; also check the
+	// semaphore drained.
+	e, c, sys := deploy(t, "local", 1)
+	w := fanWorkflow(t, 12, 3, 4*units.GiB)
+	res, err := Run(e, Options{Cluster: c, Storage: sys, FailureRate: 0.4}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) != 12 {
+		t.Fatalf("completed %d of 12", len(res.Spans))
+	}
+	n := c.Workers[0]
+	if n.Memory.InUse() != 0 {
+		t.Errorf("memory leaked: %d MB still held", n.Memory.InUse())
+	}
+}

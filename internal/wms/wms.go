@@ -1,0 +1,302 @@
+// Package wms models the workflow management stack the paper runs:
+// Pegasus plans the workflow, DAGMan releases tasks as their dependencies
+// complete, and Condor matches released jobs to idle worker slots. The
+// scheduler is locality-blind FIFO, as the paper notes ("the scheduler ...
+// does not consider data locality or parent-child affinity"); a
+// data-aware variant is provided for the paper's future-work ablation.
+package wms
+
+import (
+	"fmt"
+
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/workflow"
+)
+
+// Default overheads for the Condor/DAGMan stack, calibrated to the
+// per-job costs observed with Condor 7.x glide-ins: a submit throttle in
+// DAGMan and a match/claim/activate delay before the job's executable
+// starts on the slot.
+const (
+	DefaultSubmitDelay  = 0.010
+	DefaultStartLatency = 0.40
+)
+
+// Options configures one workflow execution.
+type Options struct {
+	Cluster *cluster.Cluster
+	Storage storage.System
+
+	// DataAware enables the locality-aware scheduler ablation (A-2):
+	// idle slots prefer ready jobs whose inputs live on their node.
+	DataAware bool
+
+	// EnforceMemory gates task start on resident-memory availability,
+	// the mechanism that makes Broadband memory-limited. On by default
+	// via Run; set SkipMemoryLimit to disable (ablation).
+	SkipMemoryLimit bool
+
+	// SubmitDelay and StartLatency override the stack overheads when
+	// non-zero.
+	SubmitDelay  float64
+	StartLatency float64
+
+	// FailureRate injects transient task failures with the given
+	// per-attempt probability (spot hiccups, OOM kills, flaky NFS
+	// mounts). A failed attempt burns a random fraction of the task's
+	// runtime, then DAGMan re-queues it, exactly as Condor/DAGMan retry
+	// semantics work. Zero (the default, and the paper's setting)
+	// disables injection.
+	FailureRate float64
+	// MaxRetries bounds re-executions per task when FailureRate > 0
+	// (DAGMan's RETRY). Zero means the DAGMan default of 3.
+	MaxRetries int
+	// FailureSeed makes injection deterministic; zero uses a fixed seed.
+	FailureSeed uint64
+}
+
+// Span records one task's execution for traces and utilization analysis.
+type Span struct {
+	Task     *workflow.Task
+	Node     string
+	Start    float64 // slot picked the job up
+	Exec     float64 // inputs staged, computation began
+	WriteEnd float64 // outputs published (task complete)
+}
+
+// Result summarizes one workflow execution.
+type Result struct {
+	Makespan     float64
+	Spans        []Span
+	StorageStats storage.Stats
+	// BusySeconds sums slot-occupied time across all cores; divide by
+	// makespan*cores for utilization.
+	BusySeconds float64
+	// PeakMemoryWait counts jobs that had to wait for memory admission.
+	MemoryWaits int64
+	// Failures counts injected task failures that were retried.
+	Failures int64
+	// Retries counts re-executions (equals Failures when all retries
+	// succeed).
+	Retries int64
+}
+
+// Utilization returns mean worker-core utilization over the makespan.
+func (r *Result) Utilization(c *cluster.Cluster) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.BusySeconds / (r.Makespan * float64(c.TotalCores()))
+}
+
+// job is one schedulable unit.
+type job struct {
+	task *workflow.Task
+}
+
+// Run plans and executes the workflow on the cluster using the given
+// storage system. The storage system must already be Init-ed against the
+// cluster; input files are pre-staged (free, per the paper's methodology)
+// and the simulated clock runs from first submission to last task
+// completion.
+func Run(e *sim.Engine, opts Options, w *workflow.Workflow) (*Result, error) {
+	if !w.Finalized() {
+		return nil, fmt.Errorf("wms: workflow %s is not finalized", w.Name)
+	}
+	if opts.Cluster == nil || opts.Storage == nil {
+		return nil, fmt.Errorf("wms: options need both a cluster and a storage system")
+	}
+	if opts.SubmitDelay == 0 {
+		opts.SubmitDelay = DefaultSubmitDelay
+	}
+	if opts.StartLatency == 0 {
+		opts.StartLatency = DefaultStartLatency
+	}
+	// Check every task can ever run: memory demand must fit some node.
+	if !opts.SkipMemoryLimit {
+		for _, t := range w.Tasks {
+			need := cluster.MemoryMB(t.PeakMemory)
+			fits := false
+			for _, n := range opts.Cluster.Workers {
+				if need <= n.Memory.Capacity() {
+					fits = true
+					break
+				}
+			}
+			if !fits {
+				return nil, fmt.Errorf("wms: task %s needs %d MB, larger than any worker", t.ID, need)
+			}
+		}
+	}
+
+	opts.Storage.PreStage(w.Inputs())
+
+	run := &execution{
+		e:      e,
+		opts:   opts,
+		w:      w,
+		remain: make(map[*workflow.Task]int, len(w.Tasks)),
+		done:   sim.NewWaitGroup(e),
+		result: &Result{},
+	}
+	if opts.FailureRate > 0 {
+		if opts.FailureRate >= 1 {
+			return nil, fmt.Errorf("wms: failure rate %g leaves no chance of progress", opts.FailureRate)
+		}
+		seed := opts.FailureSeed
+		if seed == 0 {
+			seed = 0xFA11
+		}
+		run.failRand = rng.New(seed)
+		run.maxRetries = opts.MaxRetries
+		if run.maxRetries == 0 {
+			run.maxRetries = 3
+		}
+		run.attempts = make(map[*workflow.Task]int)
+	}
+	if opts.DataAware {
+		run.disp = newDataAwareDispatcher(e, opts.Storage)
+	} else {
+		run.disp = newFIFODispatcher(e)
+	}
+	run.execute()
+	run.result.StorageStats = opts.Storage.Stats()
+	return run.result, nil
+}
+
+// execution carries the run's mutable state.
+type execution struct {
+	e      *sim.Engine
+	opts   Options
+	w      *workflow.Workflow
+	disp   dispatcher
+	remain map[*workflow.Task]int
+	ready  *sim.Mailbox[*workflow.Task]
+	done   *sim.WaitGroup
+	result *Result
+
+	// Failure injection (nil failRand disables it). Failures are
+	// transient: once a task has exhausted maxRetries failed attempts it
+	// runs clean, so workflows always complete.
+	failRand   *rng.RNG
+	maxRetries int
+	attempts   map[*workflow.Task]int
+}
+
+// execute wires up DAGMan and the slots, then drives the engine to
+// completion.
+func (x *execution) execute() {
+	x.ready = sim.NewMailbox[*workflow.Task](x.e)
+	x.done.Add(len(x.w.Tasks))
+
+	for _, t := range x.w.Tasks {
+		x.remain[t] = len(t.Parents())
+		if x.remain[t] == 0 {
+			x.ready.Put(t)
+		}
+	}
+
+	// DAGMan: submits ready tasks to the scheduler, throttled.
+	x.e.GoDaemon("dagman", func(p *sim.Proc) {
+		for {
+			t, ok := x.ready.Get(p)
+			if !ok {
+				return
+			}
+			p.Sleep(x.opts.SubmitDelay)
+			x.disp.submit(&job{task: t})
+		}
+	})
+
+	// Slots: one process per worker core, pulling jobs from the
+	// dispatcher (Condor startds with one slot per core).
+	for _, node := range x.opts.Cluster.Workers {
+		for s := 0; s < node.Type.Cores; s++ {
+			node := node
+			x.e.GoDaemon(fmt.Sprintf("%s/slot%d", node.Name, s), func(p *sim.Proc) {
+				for {
+					j := x.disp.request(p, node)
+					if j == nil {
+						return
+					}
+					x.runJob(p, node, j)
+				}
+			})
+		}
+	}
+
+	// Completion watcher: once every task is done, close the pipeline so
+	// the daemons drain.
+	x.e.Go("completion", func(p *sim.Proc) {
+		x.done.Wait(p)
+		x.result.Makespan = p.Now()
+		x.ready.Close()
+		x.disp.close()
+	})
+
+	x.e.Run()
+}
+
+// runJob executes one task on a slot: memory admission, input staging,
+// computation, output publication, then dependency release.
+func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
+	t := j.task
+	span := Span{Task: t, Node: node.Name, Start: p.Now()}
+
+	memMB := 0
+	if !x.opts.SkipMemoryLimit && t.PeakMemory > 0 {
+		memMB = cluster.MemoryMB(t.PeakMemory)
+		if node.Memory.Available() < memMB {
+			x.result.MemoryWaits++
+		}
+		node.Memory.Acquire(p, memMB)
+	}
+
+	p.Sleep(x.opts.StartLatency)
+	for _, f := range t.Inputs {
+		x.opts.Storage.Read(p, node, f)
+	}
+	span.Exec = p.Now()
+
+	cpu := t.Runtime / node.Type.CPUFactor
+	if x.failRand != nil && x.attempts[t] < x.maxRetries &&
+		x.failRand.Float64() < x.opts.FailureRate {
+		// Transient failure: the attempt burns a random fraction of the
+		// computation, the slot is freed, and DAGMan re-queues the job.
+		x.attempts[t]++
+		x.result.Failures++
+		x.result.Retries++
+		p.Sleep(cpu * x.failRand.Float64())
+		if memMB > 0 {
+			node.Memory.Release(memMB)
+		}
+		x.result.BusySeconds += p.Now() - span.Start
+		x.ready.Put(t)
+		return
+	}
+	p.Sleep(cpu)
+
+	for _, f := range t.Outputs {
+		x.opts.Storage.Write(p, node, f)
+	}
+	span.WriteEnd = p.Now()
+
+	if memMB > 0 {
+		node.Memory.Release(memMB)
+	}
+
+	x.result.Spans = append(x.result.Spans, span)
+	x.result.BusySeconds += span.WriteEnd - span.Start
+
+	// DAGMan dependency release.
+	for _, c := range t.Children() {
+		x.remain[c]--
+		if x.remain[c] == 0 {
+			x.ready.Put(c)
+		}
+	}
+	x.done.Done()
+}

@@ -1,0 +1,123 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonWorkflow is the on-disk representation, a JSON analogue of Pegasus's
+// DAX format: files and tasks by name, with data dependencies implied and
+// control edges explicit.
+type jsonWorkflow struct {
+	Name  string     `json:"name"`
+	Files []jsonFile `json:"files"`
+	Tasks []jsonTask `json:"tasks"`
+	Deps  []jsonDep  `json:"controlDeps,omitempty"`
+}
+
+type jsonFile struct {
+	Name string  `json:"name"`
+	Size float64 `json:"size"`
+	Keep bool    `json:"keep,omitempty"`
+}
+
+type jsonTask struct {
+	ID             string   `json:"id"`
+	Transformation string   `json:"transformation"`
+	Runtime        float64  `json:"runtime"`
+	PeakMemory     float64  `json:"peakMemory,omitempty"`
+	Inputs         []string `json:"inputs,omitempty"`
+	Outputs        []string `json:"outputs,omitempty"`
+}
+
+type jsonDep struct {
+	Parent string `json:"parent"`
+	Child  string `json:"child"`
+}
+
+// WriteJSON serializes the workflow (finalized or not).
+func (w *Workflow) WriteJSON(out io.Writer) error {
+	jw := jsonWorkflow{Name: w.Name}
+	for _, f := range w.Files() {
+		jw.Files = append(jw.Files, jsonFile{Name: f.Name, Size: f.Size, Keep: f.Keep})
+	}
+	byTask := make(map[*Task]string, len(w.Tasks))
+	for _, t := range w.Tasks {
+		jt := jsonTask{
+			ID:             t.ID,
+			Transformation: t.Transformation,
+			Runtime:        t.Runtime,
+			PeakMemory:     t.PeakMemory,
+		}
+		for _, f := range t.Inputs {
+			jt.Inputs = append(jt.Inputs, f.Name)
+		}
+		for _, f := range t.Outputs {
+			jt.Outputs = append(jt.Outputs, f.Name)
+		}
+		jw.Tasks = append(jw.Tasks, jt)
+		byTask[t] = t.ID
+	}
+	for child, parents := range w.extraDeps {
+		for _, p := range parents {
+			jw.Deps = append(jw.Deps, jsonDep{Parent: byTask[p], Child: byTask[child]})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jw)
+}
+
+// ReadJSON parses a workflow and finalizes it.
+func ReadJSON(in io.Reader) (*Workflow, error) {
+	var jw jsonWorkflow
+	if err := json.NewDecoder(in).Decode(&jw); err != nil {
+		return nil, fmt.Errorf("workflow: decoding JSON: %w", err)
+	}
+	w := New(jw.Name)
+	for _, jf := range jw.Files {
+		f := w.File(jf.Name, jf.Size)
+		f.Keep = jf.Keep
+	}
+	byID := make(map[string]*Task, len(jw.Tasks))
+	for _, jt := range jw.Tasks {
+		t := &Task{
+			ID:             jt.ID,
+			Transformation: jt.Transformation,
+			Runtime:        jt.Runtime,
+			PeakMemory:     jt.PeakMemory,
+		}
+		for _, name := range jt.Inputs {
+			f, ok := w.files[name]
+			if !ok {
+				return nil, fmt.Errorf("workflow: task %s reads undeclared file %q", jt.ID, name)
+			}
+			t.Inputs = append(t.Inputs, f)
+		}
+		for _, name := range jt.Outputs {
+			f, ok := w.files[name]
+			if !ok {
+				return nil, fmt.Errorf("workflow: task %s writes undeclared file %q", jt.ID, name)
+			}
+			t.Outputs = append(t.Outputs, f)
+		}
+		w.AddTask(t)
+		byID[jt.ID] = t
+	}
+	for _, d := range jw.Deps {
+		p, ok := byID[d.Parent]
+		if !ok {
+			return nil, fmt.Errorf("workflow: control dep references unknown parent %q", d.Parent)
+		}
+		c, ok := byID[d.Child]
+		if !ok {
+			return nil, fmt.Errorf("workflow: control dep references unknown child %q", d.Child)
+		}
+		w.AddDependency(p, c)
+	}
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

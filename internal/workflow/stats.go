@@ -1,0 +1,88 @@
+package workflow
+
+import "sort"
+
+// Stats summarizes a workflow the way the paper's Section II does: task
+// counts, data volumes, file-size regime and per-transformation breakdown.
+type Stats struct {
+	Name              string
+	TaskCount         int
+	InputBytes        float64 // pre-staged input data ("reads 4.2 GB of input data")
+	OutputBytes       float64 // terminal outputs ("produces 7.9 GB of output data")
+	IntermediateBytes float64
+	FileCount         int
+	FileAccesses      int // task-file incidences (the paper's "~29,000 files" for Montage)
+	TotalReadBytes    float64
+	TotalWriteBytes   float64
+	TotalRuntime      float64 // sequential computation seconds
+	MeanFileSize      float64
+	MaxPeakMemory     float64
+	ByTransformation  []TransformationStats
+}
+
+// TransformationStats aggregates per-executable figures.
+type TransformationStats struct {
+	Name       string
+	Count      int
+	Runtime    float64 // total computation seconds
+	ReadBytes  float64
+	WriteBytes float64
+	PeakMemory float64 // max across tasks
+}
+
+// ComputeStats derives summary statistics from a finalized workflow.
+func (w *Workflow) ComputeStats() Stats {
+	s := Stats{Name: w.Name, TaskCount: len(w.Tasks)}
+	for _, f := range w.Inputs() {
+		s.InputBytes += f.Size
+	}
+	for _, f := range w.Outputs() {
+		s.OutputBytes += f.Size
+	}
+	total := 0.0
+	for _, f := range w.Files() {
+		total += f.Size
+		s.FileCount++
+	}
+	s.IntermediateBytes = total - s.InputBytes - s.OutputBytes
+
+	byT := make(map[string]*TransformationStats)
+	for _, t := range w.Tasks {
+		ts := byT[t.Transformation]
+		if ts == nil {
+			ts = &TransformationStats{Name: t.Transformation}
+			byT[t.Transformation] = ts
+		}
+		ts.Count++
+		ts.Runtime += t.Runtime
+		s.TotalRuntime += t.Runtime
+		if t.PeakMemory > ts.PeakMemory {
+			ts.PeakMemory = t.PeakMemory
+		}
+		if t.PeakMemory > s.MaxPeakMemory {
+			s.MaxPeakMemory = t.PeakMemory
+		}
+		for _, f := range t.Inputs {
+			ts.ReadBytes += f.Size
+			s.TotalReadBytes += f.Size
+			s.FileAccesses++
+		}
+		for _, f := range t.Outputs {
+			ts.WriteBytes += f.Size
+			s.TotalWriteBytes += f.Size
+			s.FileAccesses++
+		}
+	}
+	if s.FileCount > 0 {
+		s.MeanFileSize = total / float64(s.FileCount)
+	}
+	names := make([]string, 0, len(byT))
+	for n := range byT {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.ByTransformation = append(s.ByTransformation, *byT[n])
+	}
+	return s
+}

@@ -1,0 +1,299 @@
+package workflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ec2wfsim/internal/rng"
+)
+
+// diamond builds the classic 4-task diamond:
+//
+//	a -> b, a -> c, b -> d, c -> d
+//
+// linked purely through files.
+func diamond(t *testing.T) *Workflow {
+	t.Helper()
+	w := New("diamond")
+	in := w.File("in.dat", 100)
+	fb := w.File("b.dat", 10)
+	fc := w.File("c.dat", 20)
+	out := w.File("out.dat", 5)
+	w.AddTask(&Task{ID: "a", Transformation: "split", Runtime: 1, Inputs: []*File{in}, Outputs: []*File{fb, fc}})
+	w.AddTask(&Task{ID: "b", Transformation: "work", Runtime: 2, Inputs: []*File{fb}, Outputs: []*File{w.File("b2.dat", 7)}})
+	w.AddTask(&Task{ID: "c", Transformation: "work", Runtime: 3, Inputs: []*File{fc}, Outputs: []*File{w.File("c2.dat", 8)}})
+	w.AddTask(&Task{ID: "d", Transformation: "merge", Runtime: 4,
+		Inputs:  []*File{w.File("b2.dat", 7), w.File("c2.dat", 8)},
+		Outputs: []*File{out}})
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDiamondDependencies(t *testing.T) {
+	w := diamond(t)
+	byID := map[string]*Task{}
+	for _, task := range w.Tasks {
+		byID[task.ID] = task
+	}
+	if len(byID["a"].Parents()) != 0 {
+		t.Error("a should have no parents")
+	}
+	if len(byID["a"].Children()) != 2 {
+		t.Errorf("a children = %d, want 2", len(byID["a"].Children()))
+	}
+	if len(byID["d"].Parents()) != 2 {
+		t.Errorf("d parents = %d, want 2", len(byID["d"].Parents()))
+	}
+	if got := len(w.Roots()); got != 1 {
+		t.Errorf("roots = %d, want 1", got)
+	}
+}
+
+func TestInputsOutputsClassification(t *testing.T) {
+	w := diamond(t)
+	ins := w.Inputs()
+	if len(ins) != 1 || ins[0].Name != "in.dat" {
+		t.Errorf("Inputs = %v, want [in.dat]", ins)
+	}
+	outs := w.Outputs()
+	if len(outs) != 1 || outs[0].Name != "out.dat" {
+		t.Errorf("Outputs = %v, want [out.dat]", outs)
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	w := diamond(t)
+	order := w.TopoOrder()
+	if len(order) != 4 {
+		t.Fatalf("topo order has %d tasks, want 4", len(order))
+	}
+	pos := map[string]int{}
+	for i, task := range order {
+		pos[task.ID] = i
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Errorf("topo order violates dependencies: %v", pos)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	w := diamond(t)
+	// a(1) -> c(3) -> d(4) = 8.
+	if got := w.CriticalPathTime(); got != 8 {
+		t.Errorf("CriticalPathTime = %g, want 8", got)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	w := New("cyclic")
+	f1 := w.File("f1", 1)
+	f2 := w.File("f2", 1)
+	w.AddTask(&Task{ID: "x", Inputs: []*File{f1}, Outputs: []*File{f2}})
+	w.AddTask(&Task{ID: "y", Inputs: []*File{f2}, Outputs: []*File{f1}})
+	if err := w.Finalize(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("Finalize = %v, want cycle error", err)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	w := New("dup")
+	w.AddTask(&Task{ID: "x"})
+	w.AddTask(&Task{ID: "x"})
+	if err := w.Finalize(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Finalize = %v, want duplicate-ID error", err)
+	}
+}
+
+func TestWriteOnceViolationRejected(t *testing.T) {
+	w := New("ww")
+	f := w.File("f", 1)
+	w.AddTask(&Task{ID: "x", Outputs: []*File{f}})
+	w.AddTask(&Task{ID: "y", Outputs: []*File{f}})
+	if err := w.Finalize(); err == nil || !strings.Contains(err.Error(), "write-once") {
+		t.Errorf("Finalize = %v, want write-once error", err)
+	}
+}
+
+func TestExplicitControlDependency(t *testing.T) {
+	w := New("ctl")
+	a := w.AddTask(&Task{ID: "mkdir", Runtime: 1})
+	b := w.AddTask(&Task{ID: "job", Runtime: 1})
+	w.AddDependency(a, b)
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Parents()) != 1 || b.Parents()[0] != a {
+		t.Error("control dependency not derived")
+	}
+}
+
+func TestFileInterning(t *testing.T) {
+	w := New("intern")
+	f1 := w.File("same", 10)
+	f2 := w.File("same", 999) // second size ignored
+	if f1 != f2 {
+		t.Error("File did not intern by name")
+	}
+	if f1.Size != 10 {
+		t.Errorf("size = %g, want first-wins 10", f1.Size)
+	}
+}
+
+func TestStats(t *testing.T) {
+	w := diamond(t)
+	s := w.ComputeStats()
+	if s.TaskCount != 4 {
+		t.Errorf("TaskCount = %d, want 4", s.TaskCount)
+	}
+	if s.InputBytes != 100 {
+		t.Errorf("InputBytes = %g, want 100", s.InputBytes)
+	}
+	if s.OutputBytes != 5 {
+		t.Errorf("OutputBytes = %g, want 5", s.OutputBytes)
+	}
+	if s.TotalRuntime != 10 {
+		t.Errorf("TotalRuntime = %g, want 10", s.TotalRuntime)
+	}
+	// accesses: a(1+2) + b(1+1) + c(1+1) + d(2+1) = 10
+	if s.FileAccesses != 10 {
+		t.Errorf("FileAccesses = %d, want 10", s.FileAccesses)
+	}
+	if len(s.ByTransformation) != 3 {
+		t.Errorf("transformations = %d, want 3", len(s.ByTransformation))
+	}
+	// ByTransformation is sorted by name: merge, split, work.
+	if s.ByTransformation[0].Name != "merge" || s.ByTransformation[2].Count != 2 {
+		t.Errorf("ByTransformation wrong: %+v", s.ByTransformation)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := diamond(t)
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Tasks) != len(w.Tasks) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(w2.Tasks), len(w.Tasks))
+	}
+	s1, s2 := w.ComputeStats(), w2.ComputeStats()
+	if s1.InputBytes != s2.InputBytes || s1.TotalRuntime != s2.TotalRuntime ||
+		s1.FileAccesses != s2.FileAccesses {
+		t.Errorf("stats differ after round trip: %+v vs %+v", s1, s2)
+	}
+	if w2.CriticalPathTime() != w.CriticalPathTime() {
+		t.Error("critical path changed after round trip")
+	}
+}
+
+func TestJSONRejectsUndeclaredFiles(t *testing.T) {
+	bad := `{"name":"x","files":[],"tasks":[{"id":"t","transformation":"f","runtime":1,"inputs":["ghost"]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("expected error for undeclared input file")
+	}
+}
+
+// randomDAG builds a random layered DAG; used by the property tests.
+func randomDAG(seed uint64, nTasks int) *Workflow {
+	r := rng.New(seed)
+	w := New("random")
+	var prev []*File
+	for i := 0; i < nTasks; i++ {
+		t := &Task{ID: string(rune('A'+i%26)) + string(rune('0'+i/26)), Transformation: "t", Runtime: float64(r.Intn(10) + 1)}
+		// Consume up to 2 files from earlier layers.
+		for k := 0; k < 2 && len(prev) > 0; k++ {
+			t.Inputs = append(t.Inputs, prev[r.Intn(len(prev))])
+		}
+		out := w.File(t.ID+".out", float64(r.Intn(100)+1))
+		t.Outputs = []*File{out}
+		w.AddTask(t)
+		prev = append(prev, out)
+	}
+	if err := w.Finalize(); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Property: topological order always contains every task exactly once and
+// never places a child before a parent.
+func TestPropertyTopoOrderValid(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nTasks := int(n%50) + 1
+		w := randomDAG(seed, nTasks)
+		order := w.TopoOrder()
+		if len(order) != nTasks {
+			return false
+		}
+		pos := make(map[*Task]int, len(order))
+		for i, task := range order {
+			pos[task] = i
+		}
+		for _, task := range order {
+			for _, p := range task.Parents() {
+				if pos[p] >= pos[task] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: critical path time is at most the serial runtime and at least
+// the longest single task.
+func TestPropertyCriticalPathBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		w := randomDAG(seed, int(n%50)+1)
+		cp := w.CriticalPathTime()
+		serial, longest := 0.0, 0.0
+		for _, task := range w.Tasks {
+			serial += task.Runtime
+			if task.Runtime > longest {
+				longest = task.Runtime
+			}
+		}
+		return cp >= longest && cp <= serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round trip preserves the task count and edge count for
+// arbitrary random DAGs.
+func TestPropertyJSONRoundTripPreservesShape(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		w := randomDAG(seed, int(n%30)+1)
+		var buf bytes.Buffer
+		if err := w.WriteJSON(&buf); err != nil {
+			return false
+		}
+		w2, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		edges := func(wf *Workflow) int {
+			total := 0
+			for _, task := range wf.Tasks {
+				total += len(task.Parents())
+			}
+			return total
+		}
+		return len(w2.Tasks) == len(w.Tasks) && edges(w2) == edges(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
