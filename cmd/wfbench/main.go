@@ -1,24 +1,35 @@
 // Command wfbench regenerates every table and figure from the paper's
 // evaluation: Table I, Figures 2-4 (runtime) and 5-7 (cost), the Section
 // III.C disk characteristics, and the ablation experiments from DESIGN.md.
+// All experiment matrices dispatch through the concurrent sweep engine;
+// results are bit-for-bit identical at any parallelism.
 //
 // Usage:
 //
-//	wfbench             # everything
-//	wfbench -fig 4      # one figure (2-7)
-//	wfbench -table1     # Table I only
-//	wfbench -disk       # Section III.C disk table
+//	wfbench                      # everything
+//	wfbench -fig 4               # one figure (2-7)
+//	wfbench -table1              # Table I only
+//	wfbench -disk                # Section III.C disk table
 //	wfbench -ablation s3cache
+//	wfbench -parallel 8          # bound concurrent cells (default: all cores)
+//	wfbench -csv grid.csv        # full experiment grid as CSV
+//	wfbench -json grid.jsonl     # full grid as JSON lines ("-" = stdout)
+//	wfbench -seeds 5 -csv m.csv  # multi-seed replication with mean/stddev
+//	wfbench -progress            # per-cell progress on stderr
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ec2wfsim/internal/harness"
+	"ec2wfsim/internal/sweep"
 )
 
 func main() {
@@ -27,32 +38,48 @@ func main() {
 	diskTable := flag.Bool("disk", false, "print the Section III.C disk table only")
 	ablation := flag.String("ablation", "", "run one ablation: "+strings.Join(harness.AblationNames(), ", "))
 	csvPath := flag.String("csv", "", "write the full experiment grid (all apps) as CSV to this path")
+	jsonPath := flag.String("json", "", "write the full experiment grid as JSON lines to this path (\"-\" = stdout)")
+	parallel := flag.Int("parallel", 0, "max concurrent experiment cells; 0 = all cores")
+	seeds := flag.Int("seeds", 1, "replicates per cell for -csv/-json exports (mean/stddev aggregation)")
+	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	flag.Parse()
 
-	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath); err != nil {
+	harness.SetParallel(*parallel)
+	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table1, diskTable bool, ablation, csvPath string) error {
+func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
+	opt := harness.SweepOptions{Seeds: seeds}
+	if progress {
+		opt.Progress = printProgress
+	}
+	if seeds > 1 && csvPath == "" && jsonPath == "" {
+		// Figures and ablations render the paper's single-seed numbers;
+		// replication aggregates only exist in the grid exports.
+		return fmt.Errorf("-seeds applies to the -csv/-json grid exports; add one or drop -seeds")
+	}
 	switch {
 	case csvPath != "":
-		return writeGridCSV(csvPath)
+		return writeGrid(csvPath, opt, writeCSVRows)
+	case jsonPath != "":
+		return writeGrid(jsonPath, opt, writeJSONRows)
 	case table1:
 		return printTableI()
 	case diskTable:
 		fmt.Print(harness.DiskBench().String())
 		return nil
 	case ablation != "":
-		_, out, err := harness.Ablation(ablation)
+		_, out, err := harness.AblationSweep(ablation, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Print(out)
 		return nil
 	case fig != 0:
-		return printFigure(fig, nil)
+		return printFigure(fig, nil, opt)
 	}
 	// Everything, in paper order.
 	if err := printTableI(); err != nil {
@@ -63,7 +90,7 @@ func run(fig int, table1, diskTable bool, ablation, csvPath string) error {
 	for f := 2; f <= 4; f++ {
 		fmt.Println()
 		// Reuse the runtime grid for the matching cost figure.
-		out, cells, err := harness.RuntimeFigure(f)
+		out, cells, err := harness.RuntimeFigureSweep(f, opt)
 		if err != nil {
 			return err
 		}
@@ -77,7 +104,7 @@ func run(fig int, table1, diskTable bool, ablation, csvPath string) error {
 	}
 	for _, name := range harness.AblationNames() {
 		fmt.Println()
-		_, out, err := harness.Ablation(name)
+		_, out, err := harness.AblationSweep(name, opt)
 		if err != nil {
 			return err
 		}
@@ -86,49 +113,154 @@ func run(fig int, table1, diskTable bool, ablation, csvPath string) error {
 	return nil
 }
 
-// writeGridCSV dumps the full (application x storage x nodes) grid with
-// makespans, costs and storage counters — the raw data behind every
-// figure, ready for external plotting.
-func writeGridCSV(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// printProgress reports one completed cell on stderr.
+func printProgress(u sweep.Update[harness.RunConfig, *harness.RunResult]) {
+	status := "ran"
+	if u.Cached {
+		status = "cached"
 	}
-	defer f.Close()
-	cw := csv.NewWriter(f)
-	header := []string{"app", "storage", "nodes", "makespan_s", "cost_per_hour", "cost_per_second",
-		"utilization", "network_bytes", "s3_gets", "s3_puts", "cache_hits", "cache_misses"}
-	if err := cw.Write(header); err != nil {
-		return err
+	if u.Err != nil {
+		status = "error: " + u.Err.Error()
 	}
+	fmt.Fprintf(os.Stderr, "[%d/%d] %s on %s n=%d (%s)\n",
+		u.Done, u.Total, u.Config.App, u.Config.Storage, u.Config.Workers, status)
+}
+
+// gridWriter emits the export for one fully-swept grid. The emit
+// callbacks stream rows in sweep order (the sweep engine re-sequences
+// out-of-order completions), so exports are byte-identical at any
+// parallelism.
+type gridWriter func(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOptions) error
+
+// writeGrid dumps the full (application x storage x nodes) grid — the
+// raw data behind every figure, ready for external analysis.
+func writeGrid(path string, opt harness.SweepOptions, write gridWriter) error {
+	var cfgs []harness.RunConfig
 	for _, app := range []string{"montage", "epigenome", "broadband"} {
-		cells, err := harness.Grid(app, nil)
+		cfgs = append(cfgs, harness.GridConfigs(app)...)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		for _, c := range cells {
-			r := c.Result
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	if err := write(bw, cfgs, opt); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote experiment grid to %s\n", path)
+	}
+	return nil
+}
+
+func writeCSVRows(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOptions) error {
+	cw := csv.NewWriter(w)
+	if opt.Seeds > 1 {
+		header := []string{"app", "storage", "nodes", "seeds",
+			"makespan_mean_s", "makespan_stddev_s", "makespan_min_s", "makespan_max_s",
+			"cost_per_hour_mean", "cost_per_hour_stddev",
+			"cost_per_second_mean", "cost_per_second_stddev",
+			"utilization_mean"}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		reps, err := harness.SweepSeeds(cfgs, opt)
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
 			row := []string{
-				app, c.System, fmt.Sprint(c.Workers),
-				fmt.Sprintf("%.1f", r.Makespan),
-				fmt.Sprintf("%.2f", r.CostHour.Total()),
-				fmt.Sprintf("%.4f", r.CostSecond.Total()),
-				fmt.Sprintf("%.3f", r.Utilization),
-				fmt.Sprintf("%.0f", r.Stats.NetworkBytes),
-				fmt.Sprint(r.Stats.Gets), fmt.Sprint(r.Stats.Puts),
-				fmt.Sprint(r.Stats.CacheHits), fmt.Sprint(r.Stats.CacheMisses),
+				r.Config.App, r.Config.Storage, fmt.Sprint(r.Config.Workers), fmt.Sprint(len(r.Runs)),
+				fmt.Sprintf("%.1f", r.Makespan.Mean), fmt.Sprintf("%.2f", r.Makespan.Stddev),
+				fmt.Sprintf("%.1f", r.Makespan.Min), fmt.Sprintf("%.1f", r.Makespan.Max),
+				fmt.Sprintf("%.2f", r.CostHour.Mean), fmt.Sprintf("%.4f", r.CostHour.Stddev),
+				fmt.Sprintf("%.4f", r.CostSecond.Mean), fmt.Sprintf("%.6f", r.CostSecond.Stddev),
+				fmt.Sprintf("%.3f", r.Utilization.Mean),
 			}
 			if err := cw.Write(row); err != nil {
 				return err
 			}
 		}
+		cw.Flush()
+		return cw.Error()
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+	header := []string{"app", "storage", "nodes", "makespan_s", "cost_per_hour", "cost_per_second",
+		"utilization", "network_bytes", "s3_gets", "s3_puts", "cache_hits", "cache_misses"}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
-	fmt.Printf("wrote experiment grid to %s\n", path)
-	return nil
+	err := streamRows(cfgs, opt, func(r *harness.RunResult) error {
+		row := []string{
+			r.Config.App, r.Config.Storage, fmt.Sprint(r.Config.Workers),
+			fmt.Sprintf("%.1f", r.Makespan),
+			fmt.Sprintf("%.2f", r.CostHour.Total()),
+			fmt.Sprintf("%.4f", r.CostSecond.Total()),
+			fmt.Sprintf("%.3f", r.Utilization),
+			fmt.Sprintf("%.0f", r.Stats.NetworkBytes),
+			fmt.Sprint(r.Stats.Gets), fmt.Sprint(r.Stats.Puts),
+			fmt.Sprint(r.Stats.CacheHits), fmt.Sprint(r.Stats.CacheMisses),
+		}
+		return cw.Write(row)
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// streamRows sweeps the cells and emits each result as soon as every
+// earlier row is out: rows stream during the sweep, in sweep order, so
+// the export is byte-identical at any parallelism.
+func streamRows(cfgs []harness.RunConfig, opt harness.SweepOptions, emit func(*harness.RunResult) error) error {
+	var emitErr error
+	ord := sweep.NewOrdered[*harness.RunResult](func(_ int, r *harness.RunResult) {
+		if emitErr == nil && r != nil {
+			emitErr = emit(r)
+		}
+	})
+	prev := opt.Progress
+	opt.Progress = func(u sweep.Update[harness.RunConfig, *harness.RunResult]) {
+		if prev != nil {
+			prev(u)
+		}
+		if u.Err != nil {
+			ord.Add(u.Index, nil)
+			return
+		}
+		ord.Add(u.Index, u.Result)
+	}
+	if _, err := harness.Sweep(cfgs, opt); err != nil {
+		return err
+	}
+	return emitErr
+}
+
+func writeJSONRows(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOptions) error {
+	enc := json.NewEncoder(w)
+	if opt.Seeds > 1 {
+		reps, err := harness.SweepSeeds(cfgs, opt)
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
+			if err := enc.Encode(r.JSONRow()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return streamRows(cfgs, opt, func(r *harness.RunResult) error {
+		return enc.Encode(r.JSONRow())
+	})
 }
 
 func printTableI() error {
@@ -140,9 +272,9 @@ func printTableI() error {
 	return nil
 }
 
-func printFigure(fig int, cells []harness.Cell) error {
+func printFigure(fig int, cells []harness.Cell, opt harness.SweepOptions) error {
 	if fig >= 2 && fig <= 4 {
-		out, _, err := harness.RuntimeFigure(fig)
+		out, _, err := harness.RuntimeFigureSweep(fig, opt)
 		if err != nil {
 			return err
 		}
@@ -150,7 +282,7 @@ func printFigure(fig int, cells []harness.Cell) error {
 		return nil
 	}
 	if fig >= 5 && fig <= 7 {
-		out, _, err := harness.CostFigure(fig, cells)
+		out, _, err := harness.CostFigureSweep(fig, cells, opt)
 		if err != nil {
 			return err
 		}

@@ -1,15 +1,19 @@
 // Command wfsim runs a single (application x storage x cluster-size)
 // experiment from the paper and prints the makespan, cost and storage
-// counters — optionally with a Gantt chart of the execution.
+// counters — optionally with a Gantt chart of the execution, or
+// replicated across seeds for a mean/stddev confidence band.
 //
 // Usage:
 //
 //	wfsim -app montage -storage gluster-nufa -nodes 4
 //	wfsim -app broadband -storage s3 -nodes 8 -gantt
 //	wfsim -app epigenome -storage nfs -nodes 2 -data-aware
+//	wfsim -app montage -storage nfs -nodes 4 -seeds 10 -parallel 4
+//	wfsim -app broadband -storage s3 -nodes 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,14 +21,10 @@ import (
 
 	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/cluster"
-	"ec2wfsim/internal/cost"
-	"ec2wfsim/internal/flow"
-	"ec2wfsim/internal/rng"
-	"ec2wfsim/internal/sim"
+	"ec2wfsim/internal/harness"
 	"ec2wfsim/internal/storage"
 	"ec2wfsim/internal/trace"
 	"ec2wfsim/internal/units"
-	"ec2wfsim/internal/wms"
 )
 
 func main() {
@@ -34,65 +34,42 @@ func main() {
 	dataAware := flag.Bool("data-aware", false, "use the locality-aware scheduler (paper future work)")
 	gantt := flag.Bool("gantt", false, "print a per-node Gantt chart")
 	csvPath := flag.String("csv", "", "write the execution trace as CSV to this path")
-	seed := flag.Uint64("seed", 0x5EED, "provisioning jitter seed")
+	seed := flag.Uint64("seed", harness.DefaultSeed, "provisioning jitter seed")
+	seeds := flag.Int("seeds", 1, "replicate the run across this many derived seeds and report mean/stddev")
+	parallel := flag.Int("parallel", 0, "max concurrent replicates; 0 = all cores")
+	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
 	flag.Parse()
 
-	if err := run(*app, *sysName, *nodes, *dataAware, *gantt, *csvPath, *seed); err != nil {
+	cfg := harness.RunConfig{
+		App:       *app,
+		Storage:   *sysName,
+		Workers:   *nodes,
+		DataAware: *dataAware,
+		Seed:      *seed,
+	}
+	if err := run(cfg, *seeds, *parallel, *gantt, *csvPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, sysName string, nodes int, dataAware, gantt bool, csvPath string, seed uint64) error {
-	w, err := apps.PaperScale(app)
+func run(cfg harness.RunConfig, seeds, parallel int, gantt bool, csvPath string, jsonOut bool) error {
+	if seeds > 1 {
+		if gantt || csvPath != "" {
+			return fmt.Errorf("-gantt and -csv trace a single execution; drop them or run without -seeds")
+		}
+		return runReplicated(cfg, seeds, parallel, jsonOut)
+	}
+	res, err := harness.Run(cfg)
 	if err != nil {
 		return err
 	}
-	sys, err := storage.ByName(sysName)
-	if err != nil {
-		return err
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.JSONRow())
 	}
-	e := sim.NewEngine()
-	net := flow.NewNet(e)
-	c, err := cluster.New(e, net, rng.New(seed), cluster.Config{
-		Workers:    nodes,
-		WorkerType: cluster.C1XLarge(),
-		Extra:      sys.ExtraNodeTypes(),
-	})
-	if err != nil {
-		return err
-	}
-	env := &storage.Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(seed + 1)}
-	if err := sys.Init(env); err != nil {
-		return err
-	}
-	res, err := wms.Run(e, wms.Options{Cluster: c, Storage: sys, DataAware: dataAware}, w)
-	if err != nil {
-		return err
-	}
-	st := sys.Stats()
-	hour := cost.Compute(c, res.Makespan, st, cost.PerHour)
-	sec := cost.Compute(c, res.Makespan, st, cost.PerSecond)
-
-	fmt.Printf("%s on %s, %d x c1.xlarge", app, sysName, nodes)
-	if len(c.Extra) > 0 {
-		fmt.Printf(" + %d service node(s)", len(c.Extra))
-	}
-	fmt.Println()
-	fmt.Printf("  tasks             %d\n", len(res.Spans))
-	fmt.Printf("  provisioning      %s (excluded from makespan)\n", units.Duration(c.ProvisionTime))
-	fmt.Printf("  makespan          %s (%.0f s)\n", units.Duration(res.Makespan), res.Makespan)
-	fmt.Printf("  utilization       %.0f%%\n", res.Utilization(c)*100)
-	fmt.Printf("  cost per-hour     %s  (%.1f node-hours)\n", units.USD(hour.Total()), hour.NodeHours)
-	fmt.Printf("  cost per-second   %s\n", units.USD(sec.Total()))
-	fmt.Printf("  network traffic   %s\n", units.Bytes(st.NetworkBytes))
-	if st.Gets+st.Puts > 0 {
-		fmt.Printf("  S3 requests       %d GET, %d PUT (%s fees)\n",
-			st.Gets, st.Puts, units.USD(hour.RequestCost))
-	}
-	if st.CacheHits+st.CacheMisses > 0 {
-		fmt.Printf("  client cache      %d hits / %d misses\n", st.CacheHits, st.CacheMisses)
-	}
+	printResult(cfg, res)
 	if gantt {
 		tr := trace.New(res.Spans, res.Makespan)
 		fmt.Println()
@@ -116,4 +93,53 @@ func run(app, sysName string, nodes int, dataAware, gantt bool, csvPath string, 
 		fmt.Printf("  trace CSV         %s (%d rows)\n", csvPath, len(res.Spans))
 	}
 	return nil
+}
+
+// runReplicated sweeps the same cell across derived seeds concurrently
+// and reports the spread — the confidence band the paper's single
+// measurements lack.
+func runReplicated(cfg harness.RunConfig, seeds, parallel int, jsonOut bool) error {
+	reps, err := harness.SweepSeeds([]harness.RunConfig{cfg},
+		harness.SweepOptions{Seeds: seeds, Parallel: parallel})
+	if err != nil {
+		return err
+	}
+	rep := reps[0]
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep.JSONRow())
+	}
+	fmt.Printf("%s on %s, %d x c1.xlarge, %d seeds\n", cfg.App, cfg.Storage, cfg.Workers, seeds)
+	fmt.Printf("  %-17s %.1f ± %.1f s  [%.1f, %.1f]\n", "makespan",
+		rep.Makespan.Mean, rep.Makespan.Stddev, rep.Makespan.Min, rep.Makespan.Max)
+	fmt.Printf("  %-17s $%.2f ± $%.3f  [$%.2f, $%.2f]\n", "cost per-hour",
+		rep.CostHour.Mean, rep.CostHour.Stddev, rep.CostHour.Min, rep.CostHour.Max)
+	fmt.Printf("  %-17s $%.4f ± $%.5f\n", "cost per-second", rep.CostSecond.Mean, rep.CostSecond.Stddev)
+	fmt.Printf("  %-17s %.1f%% ± %.2f%%\n", "utilization", rep.Utilization.Mean*100, rep.Utilization.Stddev*100)
+	return nil
+}
+
+func printResult(cfg harness.RunConfig, res *harness.RunResult) {
+	hour, sec := res.CostHour, res.CostSecond
+	st := res.Stats
+	fmt.Printf("%s on %s, %d x c1.xlarge", cfg.App, cfg.Storage, cfg.Workers)
+	if extra := len(res.Cluster.Extra); extra > 0 {
+		fmt.Printf(" + %d service node(s)", extra)
+	}
+	fmt.Println()
+	fmt.Printf("  tasks             %d\n", len(res.Spans))
+	fmt.Printf("  provisioning      %s (excluded from makespan)\n", units.Duration(res.ProvisionTime))
+	fmt.Printf("  makespan          %s (%.0f s)\n", units.Duration(res.Makespan), res.Makespan)
+	fmt.Printf("  utilization       %.0f%%\n", res.Utilization*100)
+	fmt.Printf("  cost per-hour     %s  (%.1f node-hours)\n", units.USD(hour.Total()), hour.NodeHours)
+	fmt.Printf("  cost per-second   %s\n", units.USD(sec.Total()))
+	fmt.Printf("  network traffic   %s\n", units.Bytes(st.NetworkBytes))
+	if st.Gets+st.Puts > 0 {
+		fmt.Printf("  S3 requests       %d GET, %d PUT (%s fees)\n",
+			st.Gets, st.Puts, units.USD(hour.RequestCost))
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Printf("  client cache      %d hits / %d misses\n", st.CacheHits, st.CacheMisses)
+	}
 }

@@ -1,0 +1,3 @@
+module ec2wfsim
+
+go 1.24

@@ -23,13 +23,20 @@ import (
 // PaperScale selects the exact configuration used in the paper's
 // experiments for the named application.
 func PaperScale(name string) (*workflow.Workflow, error) {
+	return PaperScaleSeeded(name, 0)
+}
+
+// PaperScaleSeeded is PaperScale with an explicit runtime-jitter seed
+// for multi-seed replication studies; seed 0 keeps each application's
+// fixed default (the paper's single-measurement setting).
+func PaperScaleSeeded(name string, seed uint64) (*workflow.Workflow, error) {
 	switch name {
 	case "montage":
-		return Montage(MontageConfig{})
+		return Montage(MontageConfig{Seed: seed})
 	case "broadband":
-		return Broadband(BroadbandConfig{})
+		return Broadband(BroadbandConfig{Seed: seed})
 	case "epigenome":
-		return Epigenome(EpigenomeConfig{})
+		return Epigenome(EpigenomeConfig{Seed: seed})
 	default:
 		return nil, fmt.Errorf("apps: unknown application %q (want montage, broadband or epigenome)", name)
 	}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"ec2wfsim/internal/disk"
 	"ec2wfsim/internal/report"
@@ -20,24 +21,23 @@ type AblationResult struct {
 
 // Ablation runs one of the named ablation experiments from DESIGN.md.
 func Ablation(name string) ([]AblationResult, string, error) {
-	switch name {
-	case "xtreemfs":
-		return ablateXtreemFS()
-	case "s3cache":
-		return ablateS3Cache()
-	case "locality":
-		return ablateLocality()
-	case "nfssync":
-		return ablateNFSSync()
-	case "nfsserver":
-		return ablateNFSServer()
-	case "diskinit":
-		return ablateDiskInit()
-	case "workertype":
-		return ablateWorkerType()
-	default:
-		return nil, "", fmt.Errorf("harness: unknown ablation %q (want xtreemfs, s3cache, locality, nfssync, nfsserver, diskinit or workertype)", name)
+	return AblationSweep(name, SweepOptions{})
+}
+
+// AblationSweep is Ablation with explicit sweep options. Each ablation's
+// cells dispatch through the sweep engine as one concurrent batch, and
+// cells shared with the figure grids (most ablations reuse grid
+// configurations) come from the process-wide cache.
+func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, error) {
+	a, ok := ablations[name]
+	if !ok {
+		return nil, "", fmt.Errorf("harness: unknown ablation %q (want one of %s)", name, strings.Join(AblationNames(), ", "))
 	}
+	results, err := runAblation(a, opt)
+	if err != nil {
+		return nil, "", err
+	}
+	return results, renderAblation(a.title, results), nil
 }
 
 // AblationNames lists the available ablation experiments.
@@ -45,11 +45,126 @@ func AblationNames() []string {
 	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype"}
 }
 
-// ablateWorkerType checks the paper's Section III.B premise: "we found
-// that the c1.xlarge type delivers the best overall performance for the
-// applications considered here". Same dollar budget, different shapes:
-// 4 c1.xlarge ($2.72/h) vs 4 m1.xlarge ($2.72/h) vs 8 m1.large ($2.72/h).
-func ablateWorkerType() ([]AblationResult, string, error) {
+// ablation declares one experiment: a labelled list of cells plus an
+// optional per-result adjustment applied after the sweep.
+type ablation struct {
+	title string
+	cells []ablationCell
+	// post, if set, adjusts each result (which is a private copy) before
+	// rendering — e.g. charging initialization time against the run.
+	post func(label string, r *RunResult)
+}
+
+type ablationCell struct {
+	label string
+	cfg   RunConfig
+}
+
+// runAblation dispatches an ablation's cells through the sweep engine.
+func runAblation(a ablation, opt SweepOptions) ([]AblationResult, error) {
+	cfgs := make([]RunConfig, len(a.cells))
+	for i, c := range a.cells {
+		cfgs[i] = c.cfg
+	}
+	rs, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]AblationResult, len(rs))
+	for i, r := range rs {
+		if a.post != nil {
+			a.post(a.cells[i].label, r)
+		}
+		results[i] = AblationResult{Label: a.cells[i].label, Result: r}
+	}
+	return results, nil
+}
+
+// ablations declares every experiment from DESIGN.md.
+var ablations = map[string]ablation{
+	// ablateWorkerType checks the paper's Section III.B premise: "we
+	// found that the c1.xlarge type delivers the best overall performance
+	// for the applications considered here". Same dollar budget,
+	// different shapes: 4 c1.xlarge ($2.72/h) vs 4 m1.xlarge ($2.72/h)
+	// vs 8 m1.large ($2.72/h).
+	"workertype": {
+		title: "§III.B premise: worker instance type at equal hourly budget ($2.72/h of workers, GlusterFS NUFA)",
+		cells: workerTypeCells(),
+	},
+
+	// The paper's Section IV note: workflows on XtreemFS took more than
+	// twice as long as on the systems reported.
+	"xtreemfs": {
+		title: "E-X1: Montage on XtreemFS vs reported systems (2 nodes)",
+		cells: []ablationCell{
+			{"gluster-nufa", RunConfig{App: "montage", Storage: "gluster-nufa", Workers: 2}},
+			{"nfs", RunConfig{App: "montage", Storage: "nfs", Workers: 2}},
+			{"xtreemfs", RunConfig{App: "montage", Storage: "xtreemfs", Workers: 2}},
+		},
+	},
+
+	// The S3 client-cache effect on Broadband (Section IV.A / V.C:
+	// caching is what makes S3 win for Broadband).
+	"s3cache": {
+		title: "A-1: Broadband on S3 with and without the client cache (4 nodes)",
+		cells: []ablationCell{
+			{"s3", RunConfig{App: "broadband", Storage: "s3", Workers: 4}},
+			{"s3-nocache", RunConfig{App: "broadband", Storage: "s3-nocache", Workers: 4}},
+		},
+	},
+
+	// The paper's future-work suggestion: a data-aware scheduler raising
+	// cache hits and cutting transfers.
+	"locality": {
+		title: "A-2: Broadband on GlusterFS NUFA, locality-blind vs data-aware scheduling (4 nodes)",
+		cells: []ablationCell{
+			{"fifo (paper)", RunConfig{App: "broadband", Storage: "gluster-nufa", Workers: 4}},
+			{"data-aware", RunConfig{App: "broadband", Storage: "gluster-nufa", Workers: 4, DataAware: true}},
+		},
+	},
+
+	// The async export option quantified (Section IV.B).
+	"nfssync": {
+		title: "A-4: Montage on NFS, async vs sync exports (2 nodes)",
+		cells: []ablationCell{
+			{"nfs", RunConfig{App: "montage", Storage: "nfs", Workers: 2}},
+			{"nfs-sync", RunConfig{App: "montage", Storage: "nfs-sync", Workers: 2}},
+		},
+	},
+
+	// The Broadband big-server experiment (Section V.C: m2.4xlarge
+	// 4368 s vs m1.xlarge 5363 s at 4 nodes).
+	"nfsserver": {
+		title: "A-3: Broadband NFS server size at 4 nodes (paper: 5363 s vs 4368 s)",
+		cells: []ablationCell{
+			{"nfs", RunConfig{App: "broadband", Storage: "nfs", Workers: 4}},
+			{"nfs-m2.4xlarge", RunConfig{App: "broadband", Storage: "nfs-m2.4xlarge", Workers: 4}},
+		},
+	},
+
+	// Amazon's suggested first-write mitigation: is zero-initializing
+	// the disks worth it for a single Montage run? (The paper argues no:
+	// zeroing 50 GB takes as long as the workflow.)
+	"diskinit": {
+		title: "A-6: Montage local disk with and without zero-initialization (1 node; init time charged)",
+		cells: []ablationCell{
+			{"uninitialized (paper)", RunConfig{App: "montage", Storage: "local", Workers: 1}},
+			{"zero-initialized 50 GB", RunConfig{
+				App: "montage", Storage: "local", Workers: 1,
+				InitializeDisks: true, InitializeBytes: 50 * units.GB,
+			}},
+		},
+		post: func(label string, r *RunResult) {
+			if r.Config.InitializeDisks {
+				// Charge the initialization time against the run: the
+				// paper's economic argument is about total occupancy.
+				r.Makespan += r.ProvisionTime
+			}
+		},
+	},
+}
+
+func workerTypeCells() []ablationCell {
 	configs := []struct {
 		label      string
 		workerType string
@@ -59,122 +174,21 @@ func ablateWorkerType() ([]AblationResult, string, error) {
 		{"4 x m1.xlarge", "m1.xlarge", 4},
 		{"8 x m1.large", "m1.large", 8},
 	}
-	var results []AblationResult
+	var cells []ablationCell
 	for _, app := range []string{"montage", "epigenome", "broadband"} {
 		for _, cfg := range configs {
-			r, err := Run(RunConfig{
-				App:        app,
-				Storage:    "gluster-nufa",
-				Workers:    cfg.workers,
-				WorkerType: cfg.workerType,
+			cells = append(cells, ablationCell{
+				label: app + ": " + cfg.label,
+				cfg: RunConfig{
+					App:        app,
+					Storage:    "gluster-nufa",
+					Workers:    cfg.workers,
+					WorkerType: cfg.workerType,
+				},
 			})
-			if err != nil {
-				return nil, "", err
-			}
-			results = append(results, AblationResult{Label: app + ": " + cfg.label, Result: r})
 		}
 	}
-	return results, renderAblation("§III.B premise: worker instance type at equal hourly budget ($2.72/h of workers, GlusterFS NUFA)", results), nil
-}
-
-// ablateXtreemFS reproduces the paper's Section IV note: workflows on
-// XtreemFS took more than twice as long as on the systems reported.
-func ablateXtreemFS() ([]AblationResult, string, error) {
-	results := []AblationResult{}
-	for _, sys := range []string{"gluster-nufa", "nfs", "xtreemfs"} {
-		r, err := Run(RunConfig{App: "montage", Storage: sys, Workers: 2})
-		if err != nil {
-			return nil, "", err
-		}
-		results = append(results, AblationResult{Label: sys, Result: r})
-	}
-	return results, renderAblation("E-X1: Montage on XtreemFS vs reported systems (2 nodes)", results), nil
-}
-
-// ablateS3Cache reproduces the S3 client-cache effect on Broadband
-// (Section IV.A / V.C: caching is what makes S3 win for Broadband).
-func ablateS3Cache() ([]AblationResult, string, error) {
-	results := []AblationResult{}
-	for _, sys := range []string{"s3", "s3-nocache"} {
-		r, err := Run(RunConfig{App: "broadband", Storage: sys, Workers: 4})
-		if err != nil {
-			return nil, "", err
-		}
-		results = append(results, AblationResult{Label: sys, Result: r})
-	}
-	return results, renderAblation("A-1: Broadband on S3 with and without the client cache (4 nodes)", results), nil
-}
-
-// ablateLocality implements the paper's future-work suggestion: a
-// data-aware scheduler raising cache hits and cutting transfers.
-func ablateLocality() ([]AblationResult, string, error) {
-	results := []AblationResult{}
-	for _, aware := range []bool{false, true} {
-		label := "fifo (paper)"
-		if aware {
-			label = "data-aware"
-		}
-		r, err := Run(RunConfig{App: "broadband", Storage: "gluster-nufa", Workers: 4, DataAware: aware})
-		if err != nil {
-			return nil, "", err
-		}
-		results = append(results, AblationResult{Label: label, Result: r})
-	}
-	return results, renderAblation("A-2: Broadband on GlusterFS NUFA, locality-blind vs data-aware scheduling (4 nodes)", results), nil
-}
-
-// ablateNFSSync quantifies the async export option (Section IV.B).
-func ablateNFSSync() ([]AblationResult, string, error) {
-	results := []AblationResult{}
-	for _, sys := range []string{"nfs", "nfs-sync"} {
-		r, err := Run(RunConfig{App: "montage", Storage: sys, Workers: 2})
-		if err != nil {
-			return nil, "", err
-		}
-		results = append(results, AblationResult{Label: sys, Result: r})
-	}
-	return results, renderAblation("A-4: Montage on NFS, async vs sync exports (2 nodes)", results), nil
-}
-
-// ablateNFSServer reproduces the Broadband big-server experiment
-// (Section V.C: m2.4xlarge 4368 s vs m1.xlarge 5363 s at 4 nodes).
-func ablateNFSServer() ([]AblationResult, string, error) {
-	results := []AblationResult{}
-	for _, sys := range []string{"nfs", "nfs-m2.4xlarge"} {
-		r, err := Run(RunConfig{App: "broadband", Storage: sys, Workers: 4})
-		if err != nil {
-			return nil, "", err
-		}
-		results = append(results, AblationResult{Label: sys, Result: r})
-	}
-	return results, renderAblation("A-3: Broadband NFS server size at 4 nodes (paper: 5363 s vs 4368 s)", results), nil
-}
-
-// ablateDiskInit tests Amazon's suggested first-write mitigation: is
-// zero-initializing the disks worth it for a single Montage run? (The
-// paper argues no: zeroing 50 GB takes as long as the workflow.)
-func ablateDiskInit() ([]AblationResult, string, error) {
-	results := []AblationResult{}
-	for _, init := range []bool{false, true} {
-		label := "uninitialized (paper)"
-		if init {
-			label = "zero-initialized 50 GB"
-		}
-		r, err := Run(RunConfig{
-			App: "montage", Storage: "local", Workers: 1,
-			InitializeDisks: init, InitializeBytes: 50 * units.GB,
-		})
-		if err != nil {
-			return nil, "", err
-		}
-		if init {
-			// Charge the initialization time against the run: the paper's
-			// economic argument is about total occupancy.
-			r.Makespan += r.ProvisionTime
-		}
-		results = append(results, AblationResult{Label: label, Result: r})
-	}
-	return results, renderAblation("A-6: Montage local disk with and without zero-initialization (1 node; init time charged)", results), nil
+	return cells
 }
 
 func renderAblation(title string, results []AblationResult) string {

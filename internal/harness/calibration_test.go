@@ -10,6 +10,7 @@ import (
 // costs) so calibration drift is visible in -v output. It is the slowest
 // test in the repository; skip it in -short runs.
 func TestCalibrationGrid(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale grid is slow; run without -short")
 	}

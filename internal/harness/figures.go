@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/report"
+	"ec2wfsim/internal/sweep"
 	"ec2wfsim/internal/units"
 	"ec2wfsim/internal/wfprof"
 )
@@ -21,18 +21,31 @@ var appForFigure = map[int]string{
 }
 
 // TableI regenerates the paper's application resource-usage comparison.
+// The three application profiles dispatch through the sweep engine (one
+// cell per application) and share the cached paper-scale DAGs with the
+// figure grids.
 func TableI() (*report.Table, error) {
+	eng := &sweep.Engine[string, [4]string]{
+		Run: func(name string) ([4]string, error) {
+			w, err := paperWorkflow(name)
+			if err != nil {
+				return [4]string{}, err
+			}
+			p := wfprof.Analyze(w)
+			return [4]string{title(name), p.IOClass.String(), p.MemoryClass.String(), p.CPUClass.String()}, nil
+		},
+		Parallel: defaultParallel(),
+	}
+	rows, err := eng.Map([]string{"montage", "broadband", "epigenome"})
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:  "TABLE I — APPLICATION RESOURCE USAGE COMPARISON",
 		Header: []string{"Application", "I/O", "Memory", "CPU"},
 	}
-	for _, name := range []string{"montage", "broadband", "epigenome"} {
-		w, err := apps.PaperScale(name)
-		if err != nil {
-			return nil, err
-		}
-		p := wfprof.Analyze(w)
-		t.AddRow(title(name), p.IOClass.String(), p.MemoryClass.String(), p.CPUClass.String())
+	for _, row := range rows {
+		t.AddRow(row[0], row[1], row[2], row[3])
 	}
 	return t, nil
 }
@@ -40,11 +53,17 @@ func TableI() (*report.Table, error) {
 // RuntimeFigure regenerates Figure 2, 3 or 4: makespan for the
 // application across storage systems and cluster sizes.
 func RuntimeFigure(fig int) (string, []Cell, error) {
+	return RuntimeFigureSweep(fig, SweepOptions{})
+}
+
+// RuntimeFigureSweep is RuntimeFigure with explicit sweep options
+// (parallelism, progress callbacks).
+func RuntimeFigureSweep(fig int, opt SweepOptions) (string, []Cell, error) {
 	app, ok := appForFigure[fig]
 	if !ok || fig > 4 {
 		return "", nil, fmt.Errorf("harness: runtime figures are 2-4, got %d", fig)
 	}
-	cells, err := Grid(app, nil)
+	cells, err := GridSweep(app, nil, opt)
 	if err != nil {
 		return "", nil, err
 	}
@@ -64,13 +83,19 @@ func RuntimeFigure(fig int) (string, []Cell, error) {
 // the runtime grid (the paper's cost figures are derived from the same
 // runs).
 func CostFigure(fig int, cells []Cell) (string, []Cell, error) {
+	return CostFigureSweep(fig, cells, SweepOptions{})
+}
+
+// CostFigureSweep is CostFigure with explicit sweep options, used when
+// the runtime grid is not being reused.
+func CostFigureSweep(fig int, cells []Cell, opt SweepOptions) (string, []Cell, error) {
 	app, ok := appForFigure[fig]
 	if !ok || fig < 5 {
 		return "", nil, fmt.Errorf("harness: cost figures are 5-7, got %d", fig)
 	}
 	if cells == nil {
 		var err error
-		cells, err = Grid(app, nil)
+		cells, err = GridSweep(app, nil, opt)
 		if err != nil {
 			return "", nil, err
 		}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestTableIOutput(t *testing.T) {
+	t.Parallel()
 	tb, err := TableI()
 	if err != nil {
 		t.Fatal(err)
@@ -23,6 +24,7 @@ func TestTableIOutput(t *testing.T) {
 }
 
 func TestDiskBenchTable(t *testing.T) {
+	t.Parallel()
 	out := DiskBench().String()
 	for _, want := range []string{"20.0 MB/s", "80.0 MB/s", "375.0 MB/s", "41m40"} {
 		if !strings.Contains(out, want) {
@@ -32,6 +34,7 @@ func TestDiskBenchTable(t *testing.T) {
 }
 
 func TestRuntimeFigureValidation(t *testing.T) {
+	t.Parallel()
 	if _, _, err := RuntimeFigure(5); err == nil {
 		t.Error("RuntimeFigure(5) should fail (cost figure)")
 	}
@@ -41,12 +44,14 @@ func TestRuntimeFigureValidation(t *testing.T) {
 }
 
 func TestCostFigureValidation(t *testing.T) {
+	t.Parallel()
 	if _, _, err := CostFigure(2, nil); err == nil {
 		t.Error("CostFigure(2) should fail (runtime figure)")
 	}
 }
 
 func TestRuntimeAndCostFiguresRender(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale grids")
 	}
@@ -71,6 +76,7 @@ func TestRuntimeAndCostFiguresRender(t *testing.T) {
 }
 
 func TestAblationRegistry(t *testing.T) {
+	t.Parallel()
 	if _, _, err := Ablation("bogus"); err == nil {
 		t.Error("unknown ablation should fail")
 	}
@@ -80,6 +86,7 @@ func TestAblationRegistry(t *testing.T) {
 }
 
 func TestNFSSyncAblation(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale runs")
 	}
@@ -101,6 +108,7 @@ func TestNFSSyncAblation(t *testing.T) {
 }
 
 func TestLocalityAblationImproves(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale runs")
 	}
@@ -116,6 +124,7 @@ func TestLocalityAblationImproves(t *testing.T) {
 }
 
 func TestDiskInitAblationNotWorthIt(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale runs")
 	}
@@ -133,6 +142,7 @@ func TestDiskInitAblationNotWorthIt(t *testing.T) {
 }
 
 func TestSupportsWorkersMatrix(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		sys     string
 		workers int
@@ -155,6 +165,7 @@ func TestSupportsWorkersMatrix(t *testing.T) {
 }
 
 func TestFindHelper(t *testing.T) {
+	t.Parallel()
 	cells := []Cell{{System: "s3", Workers: 2}, {System: "nfs", Workers: 4}}
 	if Find(cells, "nfs", 4) == nil {
 		t.Error("Find missed an existing cell")
@@ -169,6 +180,7 @@ func TestFindHelper(t *testing.T) {
 // at an equal hourly budget, c1.xlarge workers beat the alternatives for
 // every application.
 func TestWorkerTypeAblationC1XLargeBest(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale runs")
 	}

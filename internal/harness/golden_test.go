@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden file pins the simulation's paper numbers: Table I, the full
+// Montage grid (Figure 2/5 data) and the nfssync ablation. Any refactor
+// that perturbs a makespan or cost — including changes to the sweep
+// engine, the flow network or the RNG — fails here before it can
+// silently drift the reproduction away from the paper.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+type goldenCell struct {
+	Label      string  `json:"label"`
+	Makespan   float64 `json:"makespan_s"`
+	CostHour   float64 `json:"cost_per_hour"`
+	CostSecond float64 `json:"cost_per_second"`
+}
+
+type goldenData struct {
+	TableI      []string     `json:"table1_rows"`
+	MontageGrid []goldenCell `json:"montage_grid"`
+	NFSSync     []goldenCell `json:"nfssync_ablation"`
+}
+
+func collectGolden(t *testing.T) goldenData {
+	t.Helper()
+	var g goldenData
+	tb, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split([]byte(tb.String()), []byte("\n")) {
+		if len(line) > 0 {
+			g.TableI = append(g.TableI, string(line))
+		}
+	}
+	cells, err := Grid("montage", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		g.MontageGrid = append(g.MontageGrid, goldenCell{
+			Label:      fmt.Sprintf("%s/%d", c.System, c.Workers),
+			Makespan:   c.Result.Makespan,
+			CostHour:   c.Result.CostHour.Total(),
+			CostSecond: c.Result.CostSecond.Total(),
+		})
+	}
+	results, _, err := Ablation("nfssync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ar := range results {
+		g.NFSSync = append(g.NFSSync, goldenCell{
+			Label:      ar.Label,
+			Makespan:   ar.Result.Makespan,
+			CostHour:   ar.Result.CostHour.Total(),
+			CostSecond: ar.Result.CostSecond.Total(),
+		})
+	}
+	return g
+}
+
+// TestGoldenPaperNumbers compares today's simulation against the pinned
+// values exactly: the simulator is deterministic, so float64 equality
+// through the JSON round-trip is the correct bar (encoding/json emits
+// the shortest representation that round-trips).
+func TestGoldenPaperNumbers(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale grid")
+	}
+	got := collectGolden(t)
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	var want goldenData
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range want.TableI {
+		if i >= len(got.TableI) || got.TableI[i] != row {
+			t.Errorf("Table I row %d drifted:\n got: %q\nwant: %q", i, at(got.TableI, i), row)
+		}
+	}
+	compareCells(t, "montage grid", got.MontageGrid, want.MontageGrid)
+	compareCells(t, "nfssync ablation", got.NFSSync, want.NFSSync)
+}
+
+func at(rows []string, i int) string {
+	if i < len(rows) {
+		return rows[i]
+	}
+	return "<missing>"
+}
+
+func compareCells(t *testing.T, what string, got, want []goldenCell) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d cells, golden has %d", what, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s cell %s drifted:\n got: %+v\nwant: %+v", what, want[i].Label, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenSweepDeterminism asserts the sweep engine's core promise:
+// the same matrix at -parallel 1 and -parallel 8 yields byte-identical
+// results. Fresh caches on both sides so every cell actually runs twice.
+func TestGoldenSweepDeterminism(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale grid")
+	}
+	run := func(parallel int) []byte {
+		results, err := Sweep(GridConfigs("epigenome"), SweepOptions{Parallel: parallel, NoMemo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]ResultJSON, len(results))
+		for i, r := range results {
+			rows[i] = r.JSONRow()
+		}
+		data, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	concurrent := run(8)
+	if !bytes.Equal(serial, concurrent) {
+		t.Errorf("epigenome grid differs between -parallel 1 and -parallel 8:\n%s\nvs\n%s", serial, concurrent)
+	}
+}
+
+// TestGoldenMultiSeedDeterminism extends the determinism bar to
+// replicated sweeps: per-cell seed derivation and aggregation must not
+// depend on scheduling either.
+func TestGoldenMultiSeedDeterminism(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale runs")
+	}
+	cfgs := []RunConfig{
+		{App: "broadband", Storage: "gluster-nufa", Workers: 4},
+		{App: "epigenome", Storage: "nfs", Workers: 2},
+	}
+	run := func(parallel int) []byte {
+		reps, err := SweepSeeds(cfgs, SweepOptions{Parallel: parallel, Seeds: 3, NoMemo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]ReplicatedJSON, len(reps))
+		for i, r := range reps {
+			rows[i] = r.JSONRow()
+		}
+		data, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	concurrent := run(8)
+	if !bytes.Equal(serial, concurrent) {
+		t.Errorf("multi-seed sweep differs between -parallel 1 and -parallel 8:\n%s\nvs\n%s", serial, concurrent)
+	}
+	// Replicate 0 must reproduce the paper's single-seed numbers.
+	reps, err := SweepSeeds(cfgs, SweepOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		paper, err := RunCached(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Runs[0].Makespan != paper.Makespan {
+			t.Errorf("%s: replicate 0 makespan %.6f != single-seed %.6f",
+				cfgs[i].Storage, rep.Runs[0].Makespan, paper.Makespan)
+		}
+		if rep.Makespan.N != 3 || rep.Makespan.Min > rep.Makespan.Mean || rep.Makespan.Mean > rep.Makespan.Max {
+			t.Errorf("%s: inconsistent summary %+v", cfgs[i].Storage, rep.Makespan)
+		}
+		// Replicates vary task-runtime jitter, so the spread is real.
+		if rep.Makespan.Max <= rep.Makespan.Min {
+			t.Errorf("%s: replicates produced zero makespan spread: %+v", cfgs[i].Storage, rep.Makespan)
+		}
+	}
+}

@@ -5,8 +5,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/cluster"
 	"ec2wfsim/internal/cost"
@@ -17,6 +15,10 @@ import (
 	"ec2wfsim/internal/wms"
 	"ec2wfsim/internal/workflow"
 )
+
+// DefaultSeed is the fixed provisioning-jitter seed used when a
+// RunConfig leaves Seed zero — the paper's single-measurement setting.
+const DefaultSeed uint64 = 0x5EED
 
 // RunConfig names one experiment cell.
 type RunConfig struct {
@@ -33,9 +35,19 @@ type RunConfig struct {
 	Workflow *workflow.Workflow
 	// Seed varies provisioning jitter; 0 means the fixed default.
 	Seed uint64
+	// AppSeed varies the generated application's task-runtime jitter
+	// (multi-seed replication); 0 keeps the app's fixed paper seed.
+	// Ignored when Workflow is set.
+	AppSeed uint64
 	// InitializeDisks zero-fills ephemeral volumes first (ablation A-6).
 	InitializeDisks bool
 	InitializeBytes float64
+
+	// transient marks a derived replicate (SweepSeeds, rep > 0): its
+	// hashed seeds are never requested again, so caching the result and
+	// its per-seed DAG would only retain memory for the process
+	// lifetime. CellKey returns "" for transient cells.
+	transient bool
 }
 
 // RunResult is one cell's outcome.
@@ -48,6 +60,9 @@ type RunResult struct {
 	Stats         storage.Stats
 	CostHour      cost.Breakdown
 	CostSecond    cost.Breakdown
+	// Spans records per-task execution windows for Gantt charts and
+	// trace exports.
+	Spans []wms.Span
 	// Cluster is the provisioned cluster (for follow-up cost analyses
 	// such as amortization over successive workflows).
 	Cluster *cluster.Cluster
@@ -64,7 +79,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	w := cfg.Workflow
 	if w == nil {
 		var err error
-		w, err = apps.PaperScale(cfg.App)
+		w, err = apps.PaperScaleSeeded(cfg.App, cfg.AppSeed)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +90,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = 0x5EED
+		seed = DefaultSeed
 	}
 	workerType, err := cluster.TypeByName(cfg.WorkerType)
 	if err != nil {
@@ -109,6 +124,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Utilization:   res.Utilization(c),
 		MemoryWaits:   res.MemoryWaits,
 		Stats:         st,
+		Spans:         res.Spans,
 		CostHour:      cost.Compute(c, res.Makespan, st, cost.PerHour),
 		CostSecond:    cost.Compute(c, res.Makespan, st, cost.PerSecond),
 		Cluster:       c,
@@ -142,31 +158,51 @@ type Cell struct {
 	Result  *RunResult
 }
 
-// Grid runs the full sweep of the paper's five systems (plus the local
-// baseline at one node) for an application, reusing pre-built workflows
-// via build so scaled-down instances stay cheap.
-func Grid(app string, build func() (*workflow.Workflow, error)) ([]Cell, error) {
+// GridConfigs enumerates the paper's sweep for an application: the five
+// compared systems (plus the local baseline at one node) crossed with
+// NodeCounts, minus combinations the system cannot form.
+func GridConfigs(app string) []RunConfig {
 	systems := append([]string{"local"}, storage.PaperSystems()...)
-	var cells []Cell
+	var cfgs []RunConfig
 	for _, sysName := range systems {
 		for _, n := range NodeCounts() {
 			if !supportsWorkers(sysName, n) {
 				continue
 			}
-			var w *workflow.Workflow
-			if build != nil {
-				var err error
-				w, err = build()
-				if err != nil {
-					return nil, err
-				}
-			}
-			res, err := Run(RunConfig{App: app, Storage: sysName, Workers: n, Workflow: w})
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s on %s with %d workers: %w", app, sysName, n, err)
-			}
-			cells = append(cells, Cell{System: sysName, Workers: n, Result: res})
+			cfgs = append(cfgs, RunConfig{App: app, Storage: sysName, Workers: n})
 		}
+	}
+	return cfgs
+}
+
+// Grid runs the full sweep of the paper's five systems (plus the local
+// baseline at one node) for an application, reusing pre-built workflows
+// via build so scaled-down instances stay cheap.
+func Grid(app string, build func() (*workflow.Workflow, error)) ([]Cell, error) {
+	return GridSweep(app, build, SweepOptions{})
+}
+
+// GridSweep is Grid with explicit sweep options (parallelism, progress,
+// cache bypass). Cells run concurrently through the sweep engine and
+// come back in sweep order regardless of scheduling.
+func GridSweep(app string, build func() (*workflow.Workflow, error), opt SweepOptions) ([]Cell, error) {
+	cfgs := GridConfigs(app)
+	if build != nil {
+		for i := range cfgs {
+			w, err := build()
+			if err != nil {
+				return nil, err
+			}
+			cfgs[i].Workflow = w
+		}
+	}
+	results, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, len(cfgs))
+	for i, r := range results {
+		cells[i] = Cell{System: cfgs[i].Storage, Workers: cfgs[i].Workers, Result: r}
 	}
 	return cells, nil
 }

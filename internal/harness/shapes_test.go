@@ -51,6 +51,7 @@ func mkspan(t *testing.T, cells []Cell, system string, workers int) float64 {
 // distribute modes producing significantly better performance than the
 // other storage systems."
 func TestFig2GlusterBestForMontage(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "montage")
 	for _, n := range []int{2, 4, 8} {
 		for _, mode := range []string{"gluster-nufa", "gluster-dist"} {
@@ -84,6 +85,7 @@ func TestFig2GlusterBestForMontage(t *testing.T) {
 // a near-tie (within 5%) — see EXPERIMENTS.md for the discussion — and
 // NFS clearly ahead of S3 and PVFS at small scales.
 func TestFig2NFSRelativelyGoodForMontage(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "montage")
 	nfs1 := mkspan(t, cells, "nfs", 1)
 	local := mkspan(t, cells, "local", 1)
@@ -106,6 +108,7 @@ func TestFig2NFSRelativelyGoodForMontage(t *testing.T) {
 // "The relatively poor performance of S3 and PVFS may be a result of
 // Montage accessing a large number of small files."
 func TestFig2S3AndPVFSWorstForMontage(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "montage")
 	for _, n := range []int{2, 4} {
 		worstOfPair := math.Max(mkspan(t, cells, "s3", n), mkspan(t, cells, "pvfs", n))
@@ -124,6 +127,7 @@ func TestFig2S3AndPVFSWorstForMontage(t *testing.T) {
 // Runtime falls as nodes are added (Fig 2's downward trend), except NFS
 // whose incast collapse flattens it at 8 nodes.
 func TestFig2MontageScalesWithNodes(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "montage")
 	for _, sys := range []string{"s3", "gluster-nufa", "gluster-dist", "pvfs"} {
 		prev := math.Inf(1)
@@ -143,6 +147,7 @@ func TestFig2MontageScalesWithNodes(t *testing.T) {
 // of Epigenome ... the performance was almost the same for all storage
 // systems, with S3 and PVFS performing slightly worse."
 func TestFig3EpigenomeStorageInsensitive(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "epigenome")
 	// At 8 nodes the NFS incast drift widens the band somewhat; the
 	// paper's "almost the same" reads on the 1-4 node range of Fig 3.
@@ -176,6 +181,7 @@ func TestFig3EpigenomeStorageInsensitive(t *testing.T) {
 // "Unlike Montage ... for Epigenome the local disk was significantly
 // faster" (than the shared systems at one node).
 func TestFig3LocalFastestAtOneNode(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "epigenome")
 	local := mkspan(t, cells, "local", 1)
 	for _, sys := range []string{"s3", "nfs"} {
@@ -190,6 +196,7 @@ func TestFig3LocalFastestAtOneNode(t *testing.T) {
 // "the best overall performance for Broadband was achieved using Amazon
 // S3 ... likely due to the fact that Broadband reuses many input files."
 func TestFig4S3BestForBroadband(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "broadband")
 	for _, n := range []int{4, 8} {
 		s3 := mkspan(t, cells, "s3", n)
@@ -204,6 +211,7 @@ func TestFig4S3BestForBroadband(t *testing.T) {
 // "GlusterFS (NUFA) results in better performance than GlusterFS
 // (distribute)" — pipeline locality.
 func TestFig4NUFABeatsDistributeForBroadband(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "broadband")
 	// At 8 nodes the remote-read probability is 7/8 under either
 	// placement, so NUFA's locality edge washes out; the visible gap is
@@ -221,6 +229,7 @@ func TestFig4NUFABeatsDistributeForBroadband(t *testing.T) {
 // consistent across repeated experiments", with the 4-node NFS makespan
 // around 5363 s.
 func TestFig4NFSDegradesFrom2To4Nodes(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "broadband")
 	two := mkspan(t, cells, "nfs", 2)
 	four := mkspan(t, cells, "nfs", 4)
@@ -236,14 +245,15 @@ func TestFig4NFSDegradesFrom2To4Nodes(t *testing.T) {
 // 4-node case (4368 seconds vs. 5363 seconds), but was still
 // significantly worse than GlusterFS and S3 (<3000 seconds in all cases)."
 func TestFig4BigNFSServerAblation(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale run")
 	}
-	small, err := Run(RunConfig{App: "broadband", Storage: "nfs", Workers: 4})
+	small, err := RunCached(RunConfig{App: "broadband", Storage: "nfs", Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Run(RunConfig{App: "broadband", Storage: "nfs-m2.4xlarge", Workers: 4})
+	big, err := RunCached(RunConfig{App: "broadband", Storage: "nfs-m2.4xlarge", Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,6 +277,7 @@ func TestFig4BigNFSServerAblation(t *testing.T) {
 // "Similar to Montage, Broadband appears to have relatively poor
 // performance on PVFS."
 func TestFig4PVFSPoorForBroadband(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "broadband")
 	for _, n := range []int{2, 4, 8} {
 		pv := mkspan(t, cells, "pvfs", n)
@@ -282,6 +293,7 @@ func TestFig4PVFSPoorForBroadband(t *testing.T) {
 // "For Montage the lowest cost solution was GlusterFS on two nodes."
 // (Ties allowed: per-hour billing quantizes to $0.68 steps.)
 func TestFig5MontageCheapestIsGlusterAtTwoNodes(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "montage")
 	g2 := Find(cells, "gluster-nufa", 2).Result.CostHour.Total()
 	for _, c := range cells {
@@ -294,6 +306,7 @@ func TestFig5MontageCheapestIsGlusterAtTwoNodes(t *testing.T) {
 // "For Epigenome the lowest cost solution was a single node using the
 // local disk" — strictly, at $0.68.
 func TestFig6EpigenomeCheapestIsLocal(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "epigenome")
 	local := Find(cells, "local", 1).Result.CostHour.Total()
 	if math.Abs(local-0.68) > 1e-9 {
@@ -312,6 +325,7 @@ func TestFig6EpigenomeCheapestIsLocal(t *testing.T) {
 // "For Broadband the local disk, GlusterFS and S3 all tied for the lowest
 // cost." ($0.02 tolerance: S3 adds request fees.)
 func TestFig7BroadbandCostThreeWayTie(t *testing.T) {
+	t.Parallel()
 	cells := paperGrid(t, "broadband")
 	local := Find(cells, "local", 1).Result.CostHour.Total()
 	cheapest := func(sys string) float64 {
@@ -338,6 +352,7 @@ func TestFig7BroadbandCostThreeWayTie(t *testing.T) {
 // "For all of the applications the per-second cost was less than the
 // per-hour cost."
 func TestPerSecondAlwaysBelowPerHour(t *testing.T) {
+	t.Parallel()
 	for _, app := range []string{"montage", "epigenome", "broadband"} {
 		for _, c := range paperGrid(t, app) {
 			ph := c.Result.CostHour.Total()
@@ -354,6 +369,7 @@ func TestPerSecondAlwaysBelowPerHour(t *testing.T) {
 // resources were added" — with per-second billing the effect is strict:
 // sub-linear speedup means node-seconds only grow.
 func TestAddingNodesNeverCutsPerSecondCost(t *testing.T) {
+	t.Parallel()
 	for _, app := range []string{"montage", "epigenome", "broadband"} {
 		cells := paperGrid(t, app)
 		for _, sys := range []string{"s3", "gluster-nufa", "gluster-dist", "pvfs", "nfs"} {
@@ -380,6 +396,7 @@ func TestAddingNodesNeverCutsPerSecondCost(t *testing.T) {
 // XtreemFS "taking more than twice as long as they did on the storage
 // systems reported here" (Section IV).
 func TestXtreemFSMoreThanTwiceGluster(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale run")
 	}
@@ -396,6 +413,7 @@ func TestXtreemFSMoreThanTwiceGluster(t *testing.T) {
 
 // The S3 client cache must be what makes S3 competitive for Broadband.
 func TestS3CacheAblationMatters(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale run")
 	}

@@ -1,0 +1,321 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/sweep"
+	"ec2wfsim/internal/workflow"
+)
+
+// The harness dispatches every experiment matrix — figure grids,
+// ablations, CLI sweeps — through one shared sweep engine. Two caches
+// back it:
+//
+//   - cellMemo holds finished cells keyed by CellKey, so the figures,
+//     ablations and tests that revisit the same (app, storage, workers)
+//     cell pay for it once per process;
+//   - paperApps holds the built paper-scale workflows (Montage alone is
+//     10k tasks), shared read-only across concurrent cells — the DAG is
+//     immutable during execution, all run state lives in wms.
+var (
+	cellMemo  = sweep.NewMemo[*RunResult]()
+	paperApps = sweep.NewMemo[*workflow.Workflow]()
+
+	// parallelism is the default worker count for sweeps; zero means
+	// GOMAXPROCS. CLIs set it from -parallel.
+	parallelism atomic.Int64
+)
+
+// SetParallel sets the default sweep parallelism; n <= 0 restores the
+// GOMAXPROCS default.
+func SetParallel(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+func defaultParallel() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SweepOptions configure a batch of experiment cells.
+type SweepOptions struct {
+	// Parallel bounds concurrent cells; <= 0 uses SetParallel's value
+	// (default GOMAXPROCS).
+	Parallel int
+	// Seeds is the replicate count for SweepSeeds; <= 0 means 1.
+	// Replicate 0 always uses the cell's own seed, so paper numbers are
+	// the first replicate of any multi-seed study.
+	Seeds int
+	// NoMemo bypasses the process-wide cell cache, forcing fresh runs
+	// (used by determinism tests).
+	NoMemo bool
+	// Progress, if set, is called per completed cell in completion order.
+	Progress func(sweep.Update[RunConfig, *RunResult])
+}
+
+func (o SweepOptions) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return defaultParallel()
+}
+
+// CellKey canonically names a configuration for memoization: defaults
+// are normalized so that an explicit c1.xlarge or seed 0x5EED hits the
+// same cache entry as the zero value. Configurations carrying a custom
+// Workflow are not memoizable (the DAG isn't part of the key) and
+// return "".
+func CellKey(cfg RunConfig) string {
+	if cfg.Workflow != nil || cfg.transient {
+		return ""
+	}
+	wt := cfg.WorkerType
+	if wt == "" {
+		wt = "c1.xlarge"
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return fmt.Sprintf("%s|%s|n=%d|%s|seed=%d|appseed=%d|aware=%t|init=%t:%g",
+		cfg.App, cfg.Storage, cfg.Workers, wt, seed, cfg.AppSeed, cfg.DataAware,
+		cfg.InitializeDisks, cfg.InitializeBytes)
+}
+
+// CellSeed derives the RNG seed for one replicate of a cell. Replicate 0
+// is the cell's own seed (the paper's fixed default when unset), so
+// single-seed results are the first replicate of any multi-seed study;
+// higher replicates hash the configuration so each cell's seed sequence
+// depends only on its config, never on scheduling or position in the
+// batch.
+func CellSeed(cfg RunConfig, replicate int) uint64 {
+	base := cfg.Seed
+	if base == 0 {
+		base = DefaultSeed
+	}
+	if replicate == 0 {
+		return base
+	}
+	key := fmt.Sprintf("%s|%s|%d|%s|%t|%t", cfg.App, cfg.Storage, cfg.Workers,
+		cfg.WorkerType, cfg.DataAware, cfg.InitializeDisks)
+	r := rng.New((rng.HashString(key) ^ base) + uint64(replicate))
+	s := r.Uint64()
+	if s == 0 { // zero means "default" to Run; avoid colliding with it
+		s = 1
+	}
+	return s
+}
+
+// paperWorkflow returns the shared paper-scale DAG for an application
+// with its default runtime-jitter seed.
+func paperWorkflow(app string) (*workflow.Workflow, error) {
+	return paperWorkflowSeeded(app, 0)
+}
+
+// paperWorkflowSeeded caches one DAG per (application, jitter seed).
+func paperWorkflowSeeded(app string, seed uint64) (*workflow.Workflow, error) {
+	key := fmt.Sprintf("%s|%d", app, seed)
+	w, err, _ := paperApps.Do(key, func() (*workflow.Workflow, error) {
+		return apps.PaperScaleSeeded(app, seed)
+	})
+	return w, err
+}
+
+// runCell executes one cell, substituting the shared paper-scale
+// workflow when none is given (Run would otherwise rebuild the DAG per
+// cell).
+func runCell(cfg RunConfig) (*RunResult, error) {
+	if cfg.Workflow == nil && cfg.App != "" && !cfg.transient {
+		// Transient replicates skip the DAG cache too: their per-seed
+		// workflow is used once, so Run builds (and drops) it instead.
+		w, err := paperWorkflowSeeded(cfg.App, cfg.AppSeed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Workflow = w
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s with %d workers: %w", cfg.App, cfg.Storage, cfg.Workers, err)
+	}
+	return r, nil
+}
+
+// Sweep runs a batch of cells concurrently and returns results in input
+// order, bit-for-bit identical at any parallelism. Cells already in the
+// process-wide cache are not re-run; every returned result is a private
+// copy, safe for the caller to mutate.
+func Sweep(cfgs []RunConfig, opt SweepOptions) ([]*RunResult, error) {
+	eng := &sweep.Engine[RunConfig, *RunResult]{
+		Run:      runCell,
+		Key:      CellKey,
+		Parallel: opt.parallel(),
+		Progress: opt.Progress,
+	}
+	if !opt.NoMemo {
+		eng.Memo = cellMemo
+	}
+	results, err := eng.Map(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*RunResult, len(results))
+	for i, r := range results {
+		c := *r // shallow copy: Cluster/Spans/Workflow are shared read-only
+		out[i] = &c
+	}
+	return out, nil
+}
+
+// RunCached is the single-cell form of Sweep: like Run, but hitting (and
+// filling) the process-wide cell cache.
+func RunCached(cfg RunConfig) (*RunResult, error) {
+	rs, err := Sweep([]RunConfig{cfg}, SweepOptions{Parallel: 1})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// Replicated aggregates one cell's multi-seed replicates: mean, sample
+// stddev and range for the headline metrics, plus the individual runs.
+type Replicated struct {
+	Config      RunConfig
+	Runs        []*RunResult
+	Makespan    sweep.Summary
+	CostHour    sweep.Summary
+	CostSecond  sweep.Summary
+	Utilization sweep.Summary
+}
+
+// SweepSeeds runs every cell opt.Seeds times with deterministic per-cell
+// seed derivation (see CellSeed) and aggregates per cell. The flattened
+// replicate matrix shares the sweep worker pool, so replication
+// parallelizes across cells and seeds at once.
+func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
+	seeds := opt.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	flat := make([]RunConfig, 0, len(cfgs)*seeds)
+	for _, cfg := range cfgs {
+		for rep := 0; rep < seeds; rep++ {
+			c := cfg
+			if rep > 0 {
+				// One derived value drives both jitter sources, so a
+				// replicate varies provisioning and task runtimes
+				// together. Replicate 0 keeps the cell's own seeds —
+				// the paper's numbers lead every replication study.
+				s := CellSeed(cfg, rep)
+				c.Seed = s
+				if c.Workflow == nil {
+					c.AppSeed = s
+				}
+				c.transient = true
+			}
+			flat = append(flat, c)
+		}
+	}
+	results, err := Sweep(flat, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Replicated, len(cfgs))
+	for i, cfg := range cfgs {
+		runs := results[i*seeds : (i+1)*seeds]
+		metric := func(f func(*RunResult) float64) sweep.Summary {
+			xs := make([]float64, len(runs))
+			for j, r := range runs {
+				xs[j] = f(r)
+			}
+			return sweep.Summarize(xs)
+		}
+		out[i] = Replicated{
+			Config:      cfg,
+			Runs:        runs,
+			Makespan:    metric(func(r *RunResult) float64 { return r.Makespan }),
+			CostHour:    metric(func(r *RunResult) float64 { return r.CostHour.Total() }),
+			CostSecond:  metric(func(r *RunResult) float64 { return r.CostSecond.Total() }),
+			Utilization: metric(func(r *RunResult) float64 { return r.Utilization }),
+		}
+	}
+	return out, nil
+}
+
+// ResultJSON is the streaming-export row for one cell, shared by the
+// wfbench -json dump and wfsim -json output.
+type ResultJSON struct {
+	App          string  `json:"app"`
+	Storage      string  `json:"storage"`
+	Workers      int     `json:"workers"`
+	Seed         uint64  `json:"seed"`
+	MakespanS    float64 `json:"makespan_s"`
+	ProvisionS   float64 `json:"provision_s"`
+	CostPerHour  float64 `json:"cost_per_hour"`
+	CostPerSec   float64 `json:"cost_per_second"`
+	Utilization  float64 `json:"utilization"`
+	NetworkBytes float64 `json:"network_bytes"`
+	Gets         int64   `json:"s3_gets"`
+	Puts         int64   `json:"s3_puts"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+}
+
+// JSONRow flattens a result for machine-readable export.
+func (r *RunResult) JSONRow() ResultJSON {
+	seed := r.Config.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return ResultJSON{
+		App:          r.Config.App,
+		Storage:      r.Config.Storage,
+		Workers:      r.Config.Workers,
+		Seed:         seed,
+		MakespanS:    r.Makespan,
+		ProvisionS:   r.ProvisionTime,
+		CostPerHour:  r.CostHour.Total(),
+		CostPerSec:   r.CostSecond.Total(),
+		Utilization:  r.Utilization,
+		NetworkBytes: r.Stats.NetworkBytes,
+		Gets:         r.Stats.Gets,
+		Puts:         r.Stats.Puts,
+		CacheHits:    r.Stats.CacheHits,
+		CacheMisses:  r.Stats.CacheMisses,
+	}
+}
+
+// ReplicatedJSON is the aggregated export row for one multi-seed cell.
+type ReplicatedJSON struct {
+	App         string        `json:"app"`
+	Storage     string        `json:"storage"`
+	Workers     int           `json:"workers"`
+	Seeds       int           `json:"seeds"`
+	Makespan    sweep.Summary `json:"makespan_s"`
+	CostPerHour sweep.Summary `json:"cost_per_hour"`
+	CostPerSec  sweep.Summary `json:"cost_per_second"`
+	Utilization sweep.Summary `json:"utilization"`
+}
+
+// JSONRow flattens an aggregated cell for export.
+func (r Replicated) JSONRow() ReplicatedJSON {
+	return ReplicatedJSON{
+		App:         r.Config.App,
+		Storage:     r.Config.Storage,
+		Workers:     r.Config.Workers,
+		Seeds:       len(r.Runs),
+		Makespan:    r.Makespan,
+		CostPerHour: r.CostHour,
+		CostPerSec:  r.CostSecond,
+		Utilization: r.Utilization,
+	}
+}

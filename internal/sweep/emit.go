@@ -1,0 +1,38 @@
+package sweep
+
+import "sync"
+
+// Ordered re-sequences out-of-order completions into input order, so a
+// concurrent sweep can stream rows to a CSV or JSON-lines file that is
+// byte-identical to a serial run's. Feed it from an Engine's Progress
+// callback; emit is called with a contiguous prefix of indices, in
+// order, as soon as each becomes available.
+type Ordered[T any] struct {
+	mu   sync.Mutex
+	next int
+	buf  map[int]T
+	emit func(index int, v T)
+}
+
+// NewOrdered returns an emitter that forwards values to emit in index
+// order starting at 0.
+func NewOrdered[T any](emit func(index int, v T)) *Ordered[T] {
+	return &Ordered[T]{buf: make(map[int]T), emit: emit}
+}
+
+// Add accepts the value for index, buffering it until all lower indices
+// have been emitted. Each index must be added exactly once.
+func (o *Ordered[T]) Add(index int, v T) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.buf[index] = v
+	for {
+		next, ok := o.buf[o.next]
+		if !ok {
+			return
+		}
+		delete(o.buf, o.next)
+		o.emit(o.next, next)
+		o.next++
+	}
+}

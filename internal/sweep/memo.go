@@ -1,0 +1,49 @@
+package sweep
+
+import "sync"
+
+// Memo caches results by key with exactly-once execution: when several
+// goroutines ask for the same key concurrently, one runs the function
+// and the rest wait for its result (the classic singleflight shape,
+// built on sync.Once so completed entries are lock-free to reuse).
+//
+// Cached values are shared between callers. If results are mutable,
+// callers must copy before modifying — the harness layer does this for
+// experiment cells.
+type Memo[R any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[R]
+}
+
+type memoEntry[R any] struct {
+	once sync.Once
+	val  R
+	err  error
+}
+
+// NewMemo returns an empty cache.
+func NewMemo[R any]() *Memo[R] {
+	return &Memo[R]{m: make(map[string]*memoEntry[R])}
+}
+
+// Do returns the cached result for key, running fn to fill it on first
+// use. cached reports whether an entry already existed when Do was
+// called (a concurrent first caller may still be running it; Do waits).
+func (m *Memo[R]) Do(key string, fn func() (R, error)) (val R, err error, cached bool) {
+	m.mu.Lock()
+	e, ok := m.m[key]
+	if !ok {
+		e = &memoEntry[R]{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err, ok
+}
+
+// Len reports the number of distinct keys ever requested.
+func (m *Memo[R]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

@@ -1,0 +1,43 @@
+package sweep
+
+import "math"
+
+// Summary aggregates one metric over replicate runs: the mean and
+// sample standard deviation give the confidence band a single paper-seed
+// run cannot (the paper reports single measurements; multi-seed sweeps
+// quantify the provisioning-jitter spread around them).
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"` // sample stddev; 0 when N < 2
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize reduces replicate measurements to a Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	// Summation rounding can push the mean an ULP past the range; clamp
+	// so Min <= Mean <= Max always holds.
+	s.Mean = math.Max(s.Min, math.Min(s.Max, s.Mean))
+	if s.N >= 2 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package workflow
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON throws arbitrary bytes at the workflow parser. Invalid
+// documents must be rejected with an error (never a panic), and any
+// document that parses must round-trip: WriteJSON then ReadJSON yields a
+// workflow with the same shape.
+func FuzzReadJSON(f *testing.F) {
+	// A valid diamond workflow, via our own serializer.
+	diamond := New("diamond")
+	in := diamond.File("in.dat", 100)
+	mid1 := diamond.File("mid1.dat", 50)
+	mid2 := diamond.File("mid2.dat", 60)
+	out := diamond.File("out.dat", 10)
+	a := diamond.AddTask(&Task{ID: "a", Transformation: "split", Runtime: 1,
+		Inputs: []*File{in}, Outputs: []*File{mid1, mid2}})
+	b := diamond.AddTask(&Task{ID: "b", Transformation: "work", Runtime: 2,
+		Inputs: []*File{mid1}, Outputs: []*File{out}})
+	diamond.AddDependency(a, b)
+	var valid bytes.Buffer
+	if err := diamond.WriteJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	// Near-valid and broken documents steering the parser's error paths.
+	for _, s := range []string{
+		`{}`,
+		`not json at all`,
+		`{"name":"x","files":[{"name":"f","size":1}],"tasks":[]}`,
+		`{"name":"x","tasks":[{"id":"t","inputs":["missing"]}]}`,
+		`{"name":"x","tasks":[{"id":"t","outputs":["missing"]}]}`,
+		`{"name":"x","files":[{"name":"f","size":-5}],"tasks":[{"id":"t","inputs":["f"]}]}`,
+		`{"name":"x","files":[{"name":"f","size":1}],"tasks":[{"id":"t","outputs":["f"]},{"id":"u","inputs":["f"],"outputs":[]}],"controlDeps":[{"parent":"u","child":"t"}]}`,
+		`{"name":"x","controlDeps":[{"parent":"p","child":"c"}]}`,
+		`{"name":"dup","files":[{"name":"f","size":1},{"name":"f","size":2}],"tasks":[{"id":"t","outputs":["f"]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panic: fine
+		}
+		// Accepted documents must round-trip through our serializer.
+		var buf bytes.Buffer
+		if err := w.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON failed on accepted workflow: %v", err)
+		}
+		w2, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip rejected our own output: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		if len(w2.Tasks) != len(w.Tasks) {
+			t.Fatalf("round-trip changed task count: %d -> %d", len(w.Tasks), len(w2.Tasks))
+		}
+		if got, want := len(w2.Files()), len(w.Files()); got != want {
+			t.Fatalf("round-trip changed file count: %d -> %d", want, got)
+		}
+		if w2.Name != w.Name {
+			t.Fatalf("round-trip changed name: %q -> %q", w.Name, w2.Name)
+		}
+	})
+}
