@@ -8,9 +8,12 @@
 //
 //	wfbench                      # everything
 //	wfbench -fig 4               # one figure (2-7)
+//	wfbench -fig 4 -seeds 5      # one figure with ±stddev error bars
 //	wfbench -table1              # Table I only
 //	wfbench -disk                # Section III.C disk table
 //	wfbench -ablation s3cache
+//	wfbench -ablation failures   # full failure-sensitivity study (rate ladder)
+//	wfbench -failure-rate 0.1 -seeds 5  # failure study at one rate, error-barred
 //	wfbench -parallel 8          # bound concurrent cells (default: all cores)
 //	wfbench -csv grid.csv        # full experiment grid as CSV
 //	wfbench -json grid.jsonl     # full grid as JSON lines ("-" = stdout)
@@ -40,28 +43,54 @@ func main() {
 	csvPath := flag.String("csv", "", "write the full experiment grid (all apps) as CSV to this path")
 	jsonPath := flag.String("json", "", "write the full experiment grid as JSON lines to this path (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 0, "max concurrent experiment cells; 0 = all cores")
-	seeds := flag.Int("seeds", 1, "replicates per cell for -csv/-json exports (mean/stddev aggregation)")
+	seeds := flag.Int("seeds", 1, "replicates per cell (±stddev error bars on figures, mean/stddev in -csv/-json exports)")
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
+	failureRate := flag.Float64("failure-rate", 0, "run the failure-sensitivity study at this injected per-attempt failure rate (vs the failure-free baseline)")
+	maxRetries := flag.Int("max-retries", 0, "failed attempts allowed per task in the failure study; 0 = DAGMan's default of 3")
 	flag.Parse()
 
 	harness.SetParallel(*parallel)
-	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
+	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress, *failureRate, *maxRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
+func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool, failureRate float64, maxRetries int) error {
 	opt := harness.SweepOptions{Seeds: seeds}
 	if progress {
 		opt.Progress = printProgress
 	}
-	if seeds > 1 && csvPath == "" && jsonPath == "" {
-		// Figures and ablations render the paper's single-seed numbers;
-		// replication aggregates only exist in the grid exports.
-		return fmt.Errorf("-seeds applies to the -csv/-json grid exports; add one or drop -seeds")
+	failureStudy := failureRate > 0 || ablation == "failures"
+	if failureStudy && (csvPath != "" || jsonPath != "" || table1 || diskTable || fig != 0 ||
+		(failureRate > 0 && ablation != "")) {
+		return fmt.Errorf("the failure study (-failure-rate / -ablation failures) runs alone; drop -csv/-json/-table1/-disk/-ablation/-fig")
+	}
+	if maxRetries != 0 && !failureStudy {
+		return fmt.Errorf("-max-retries applies to the failure study; add -failure-rate or -ablation failures")
+	}
+	if seeds > 1 && (table1 || diskTable || (ablation != "" && ablation != "failures")) {
+		// Table I, the disk table and the fixed-cell ablations render the
+		// paper's single measurements; failing loudly beats silently
+		// printing unreplicated numbers under a -seeds flag.
+		return fmt.Errorf("-seeds replicates figures, grid exports and the failure study; this mode renders single-seed numbers")
 	}
 	switch {
+	case failureStudy:
+		// The failure-sensitivity study: every app on the studied storage
+		// systems, paired against the failure-free baseline, error-barred
+		// when -seeds > 1. -failure-rate studies one rate; -ablation
+		// failures sweeps the canonical ladder.
+		o := harness.FailureStudyOptions{MaxRetries: maxRetries, Sweep: opt}
+		if failureRate > 0 {
+			o.Rates = []float64{failureRate}
+		}
+		_, out, err := harness.FailureStudy(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
 	case csvPath != "":
 		return writeGrid(csvPath, opt, writeCSVRows)
 	case jsonPath != "":
@@ -81,7 +110,12 @@ func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, se
 	case fig != 0:
 		return printFigure(fig, nil, opt)
 	}
-	// Everything, in paper order.
+	// Everything, in paper order. One grid sweep feeds each runtime
+	// figure and its cost companion (replicates are not memoized, so at
+	// -seeds > 1 re-sweeping per figure would double the work).
+	if seeds > 1 {
+		fmt.Fprintln(os.Stderr, "wfbench: -seeds replicates the figures and the failure study; Table I, the disk table and the fixed-cell ablations remain single-measurement")
+	}
 	if err := printTableI(); err != nil {
 		return err
 	}
@@ -89,17 +123,12 @@ func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, se
 	fmt.Print(harness.DiskBench().String())
 	for f := 2; f <= 4; f++ {
 		fmt.Println()
-		// Reuse the runtime grid for the matching cost figure.
-		out, cells, err := harness.RuntimeFigureSweep(f, opt)
+		out, costOut, _, err := harness.GridFigures(f, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Print(out)
 		fmt.Println()
-		costOut, _, err := harness.CostFigure(f+3, cells)
-		if err != nil {
-			return err
-		}
 		fmt.Print(costOut)
 	}
 	for _, name := range harness.AblationNames() {

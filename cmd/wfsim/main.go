@@ -10,6 +10,7 @@
 //	wfsim -app epigenome -storage nfs -nodes 2 -data-aware
 //	wfsim -app montage -storage nfs -nodes 4 -seeds 10 -parallel 4
 //	wfsim -app broadband -storage s3 -nodes 4 -json
+//	wfsim -app montage -storage pvfs -nodes 4 -failure-rate 0.1 -max-retries 5
 package main
 
 import (
@@ -38,14 +39,20 @@ func main() {
 	seeds := flag.Int("seeds", 1, "replicate the run across this many derived seeds and report mean/stddev")
 	parallel := flag.Int("parallel", 0, "max concurrent replicates; 0 = all cores")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
+	failureRate := flag.Float64("failure-rate", 0, "inject transient task failures with this per-attempt probability (0 = paper's failure-free setting)")
+	maxRetries := flag.Int("max-retries", 0, "failed attempts allowed per task; 0 = DAGMan's default of 3")
+	failureSeed := flag.Uint64("failure-seed", 0, "failure-injection RNG seed; 0 = fixed default")
 	flag.Parse()
 
 	cfg := harness.RunConfig{
-		App:       *app,
-		Storage:   *sysName,
-		Workers:   *nodes,
-		DataAware: *dataAware,
-		Seed:      *seed,
+		App:         *app,
+		Storage:     *sysName,
+		Workers:     *nodes,
+		DataAware:   *dataAware,
+		Seed:        *seed,
+		FailureRate: *failureRate,
+		MaxRetries:  *maxRetries,
+		FailureSeed: *failureSeed,
 	}
 	if err := run(cfg, *seeds, *parallel, *gantt, *csvPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
@@ -113,6 +120,10 @@ func runReplicated(cfg harness.RunConfig, seeds, parallel int, jsonOut bool) err
 	fmt.Printf("%s on %s, %d x c1.xlarge, %d seeds\n", cfg.App, cfg.Storage, cfg.Workers, seeds)
 	fmt.Printf("  %-17s %.1f ± %.1f s  [%.1f, %.1f]\n", "makespan",
 		rep.Makespan.Mean, rep.Makespan.Stddev, rep.Makespan.Min, rep.Makespan.Max)
+	if cfg.FailureRate > 0 {
+		fmt.Printf("  %-17s %.1f ± %.1f per run (rate %g)\n", "failures",
+			rep.Failures.Mean, rep.Failures.Stddev, cfg.FailureRate)
+	}
 	fmt.Printf("  %-17s $%.2f ± $%.3f  [$%.2f, $%.2f]\n", "cost per-hour",
 		rep.CostHour.Mean, rep.CostHour.Stddev, rep.CostHour.Min, rep.CostHour.Max)
 	fmt.Printf("  %-17s $%.4f ± $%.5f\n", "cost per-second", rep.CostSecond.Mean, rep.CostSecond.Stddev)
@@ -128,7 +139,11 @@ func printResult(cfg harness.RunConfig, res *harness.RunResult) {
 		fmt.Printf(" + %d service node(s)", extra)
 	}
 	fmt.Println()
-	fmt.Printf("  tasks             %d\n", len(res.Spans))
+	fmt.Printf("  tasks             %d\n", res.Completed())
+	if res.Failures > 0 {
+		fmt.Printf("  failures          %d injected, %d retries (rate %g)\n",
+			res.Failures, res.Retries, cfg.FailureRate)
+	}
 	fmt.Printf("  provisioning      %s (excluded from makespan)\n", units.Duration(res.ProvisionTime))
 	fmt.Printf("  makespan          %s (%.0f s)\n", units.Duration(res.Makespan), res.Makespan)
 	fmt.Printf("  utilization       %.0f%%\n", res.Utilization*100)

@@ -29,6 +29,23 @@ func Ablation(name string) ([]AblationResult, string, error) {
 // cells shared with the figure grids (most ablations reuse grid
 // configurations) come from the process-wide cache.
 func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, error) {
+	if name == "failures" {
+		// The failure-sensitivity study has its own matrix (rates) and
+		// renderer (baseline-paired inflation, delta charts); it honours
+		// opt.Seeds where the fixed-cell ablations are single-seed.
+		cells, out, err := FailureStudy(FailureStudyOptions{Sweep: opt})
+		if err != nil {
+			return nil, "", err
+		}
+		results := make([]AblationResult, len(cells))
+		for i, c := range cells {
+			results[i] = AblationResult{
+				Label:  fmt.Sprintf("%s/%s r=%g", c.Config.App, c.Config.Storage, c.Config.FailureRate),
+				Result: c.Rep.Runs[0],
+			}
+		}
+		return results, out, nil
+	}
 	a, ok := ablations[name]
 	if !ok {
 		return nil, "", fmt.Errorf("harness: unknown ablation %q (want one of %s)", name, strings.Join(AblationNames(), ", "))
@@ -42,7 +59,7 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype"}
+	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures"}
 }
 
 // ablation declares one experiment: a labelled list of cells plus an

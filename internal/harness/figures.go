@@ -56,26 +56,89 @@ func RuntimeFigure(fig int) (string, []Cell, error) {
 	return RuntimeFigureSweep(fig, SweepOptions{})
 }
 
-// RuntimeFigureSweep is RuntimeFigure with explicit sweep options
-// (parallelism, progress callbacks).
-func RuntimeFigureSweep(fig int, opt SweepOptions) (string, []Cell, error) {
-	app, ok := appForFigure[fig]
-	if !ok || fig > 4 {
-		return "", nil, fmt.Errorf("harness: runtime figures are 2-4, got %d", fig)
-	}
-	cells, err := GridSweep(app, nil, opt)
+// gridReps sweeps an application's grid with opt.Seeds replicates per
+// cell. At Seeds <= 1 this degenerates to the paper's single-seed grid
+// (replicate 0 is the cell's own seed and stays memoized), so the
+// single- and multi-seed figure paths share one implementation.
+func gridReps(app string, opt SweepOptions) ([]Replicated, []Cell, error) {
+	cfgs := GridConfigs(app)
+	reps, err := SweepSeeds(cfgs, opt)
 	if err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
+	cells := make([]Cell, len(reps))
+	for i, rep := range reps {
+		cells[i] = Cell{System: cfgs[i].Storage, Workers: cfgs[i].Workers, Result: rep.Runs[0]}
+	}
+	return reps, cells, nil
+}
+
+// runtimeChart renders a runtime figure from a replicated grid, with
+// ±stddev whiskers whenever the sweep carried more than one seed.
+func runtimeChart(fig int, app string, reps []Replicated, cells []Cell) string {
 	chart := &report.BarChart{
 		Title: fmt.Sprintf("Fig. %d. Performance of %s using different storage systems (makespan, seconds)",
 			fig, title(app)),
 		Unit: "s",
 	}
-	for _, c := range cells {
-		chart.Add(fmt.Sprintf("%s n=%d", c.System, c.Workers), c.Result.Makespan)
+	for i, c := range cells {
+		chart.AddErr(fmt.Sprintf("%s n=%d", c.System, c.Workers),
+			reps[i].Makespan.Mean, reps[i].Makespan.Stddev)
 	}
-	return chart.String(), cells, nil
+	return chart.String()
+}
+
+// costCharts renders a cost figure (top per-hour, bottom per-second)
+// from a replicated grid, with ±stddev whiskers when replicated.
+func costCharts(fig int, app string, reps []Replicated, cells []Cell) string {
+	var b strings.Builder
+	hour := &report.BarChart{
+		Title: fmt.Sprintf("Fig. %d (top). %s cost assuming per-hour charges ($)", fig, title(app)),
+		Unit:  "$",
+	}
+	sec := &report.BarChart{
+		Title: fmt.Sprintf("Fig. %d (bottom). %s cost assuming per-second charges ($)", fig, title(app)),
+		Unit:  "$",
+	}
+	for i, c := range cells {
+		label := fmt.Sprintf("%s n=%d", c.System, c.Workers)
+		hour.AddErr(label, reps[i].CostHour.Mean, reps[i].CostHour.Stddev)
+		sec.AddErr(label, reps[i].CostSecond.Mean, reps[i].CostSecond.Stddev)
+	}
+	b.WriteString(hour.String())
+	b.WriteByte('\n')
+	b.WriteString(sec.String())
+	return b.String()
+}
+
+// RuntimeFigureSweep is RuntimeFigure with explicit sweep options
+// (parallelism, replication, progress callbacks). With opt.Seeds > 1 the
+// bars carry mean ± stddev error bands.
+func RuntimeFigureSweep(fig int, opt SweepOptions) (string, []Cell, error) {
+	app, ok := appForFigure[fig]
+	if !ok || fig > 4 {
+		return "", nil, fmt.Errorf("harness: runtime figures are 2-4, got %d", fig)
+	}
+	reps, cells, err := gridReps(app, opt)
+	if err != nil {
+		return "", nil, err
+	}
+	return runtimeChart(fig, app, reps, cells), cells, nil
+}
+
+// GridFigures renders a runtime figure (2-4) and its cost companion
+// (5-7) from one grid sweep, so multi-seed replicates — which are not
+// memoized — run once and feed both charts' error bars.
+func GridFigures(fig int, opt SweepOptions) (runtime, cost string, cells []Cell, err error) {
+	app, ok := appForFigure[fig]
+	if !ok || fig > 4 {
+		return "", "", nil, fmt.Errorf("harness: runtime figures are 2-4, got %d", fig)
+	}
+	reps, cells, err := gridReps(app, opt)
+	if err != nil {
+		return "", "", nil, err
+	}
+	return runtimeChart(fig, app, reps, cells), costCharts(fig+3, app, reps, cells), cells, nil
 }
 
 // CostFigure regenerates Figure 5, 6 or 7: per-hour and per-second cost
@@ -87,18 +150,20 @@ func CostFigure(fig int, cells []Cell) (string, []Cell, error) {
 }
 
 // CostFigureSweep is CostFigure with explicit sweep options, used when
-// the runtime grid is not being reused.
+// the runtime grid is not being reused. When cells are supplied they are
+// rendered as-is (the single-measurement reuse path); otherwise the grid
+// is swept with opt, carrying error bars at opt.Seeds > 1.
 func CostFigureSweep(fig int, cells []Cell, opt SweepOptions) (string, []Cell, error) {
 	app, ok := appForFigure[fig]
 	if !ok || fig < 5 {
 		return "", nil, fmt.Errorf("harness: cost figures are 5-7, got %d", fig)
 	}
 	if cells == nil {
-		var err error
-		cells, err = GridSweep(app, nil, opt)
+		reps, fresh, err := gridReps(app, opt)
 		if err != nil {
 			return "", nil, err
 		}
+		return costCharts(fig, app, reps, fresh), fresh, nil
 	}
 	var b strings.Builder
 	hour := &report.BarChart{

@@ -28,10 +28,21 @@ type goldenCell struct {
 	CostSecond float64 `json:"cost_per_second"`
 }
 
+// goldenFailureCell extends a golden cell with the failure counters a
+// failure-ablation row pins.
+type goldenFailureCell struct {
+	Label      string  `json:"label"`
+	Makespan   float64 `json:"makespan_s"`
+	CostSecond float64 `json:"cost_per_second"`
+	Failures   int64   `json:"failures"`
+	Retries    int64   `json:"retries"`
+}
+
 type goldenData struct {
-	TableI      []string     `json:"table1_rows"`
-	MontageGrid []goldenCell `json:"montage_grid"`
-	NFSSync     []goldenCell `json:"nfssync_ablation"`
+	TableI      []string            `json:"table1_rows"`
+	MontageGrid []goldenCell        `json:"montage_grid"`
+	NFSSync     []goldenCell        `json:"nfssync_ablation"`
+	Failure     []goldenFailureCell `json:"failure_ablation"`
 }
 
 func collectGolden(t *testing.T) goldenData {
@@ -68,6 +79,26 @@ func collectGolden(t *testing.T) goldenData {
 			Makespan:   ar.Result.Makespan,
 			CostHour:   ar.Result.CostHour.Total(),
 			CostSecond: ar.Result.CostSecond.Total(),
+		})
+	}
+	// One failure-ablation row (baseline + injected) pins the failure
+	// plumbing: rate, default retries and the fixed failure seed all feed
+	// the simulation through RunConfig, so any drift in the injection
+	// path or its CellKey handling fails here.
+	for _, rate := range []float64{0, 0.1} {
+		r, err := RunCached(RunConfig{
+			App: "montage", Storage: "pvfs",
+			Workers: DefaultFailureStudyWorkers, FailureRate: rate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Failure = append(g.Failure, goldenFailureCell{
+			Label:      fmt.Sprintf("montage/pvfs r=%g", rate),
+			Makespan:   r.Makespan,
+			CostSecond: r.CostSecond.Total(),
+			Failures:   r.Failures,
+			Retries:    r.Retries,
 		})
 	}
 	return g
@@ -110,6 +141,16 @@ func TestGoldenPaperNumbers(t *testing.T) {
 	}
 	compareCells(t, "montage grid", got.MontageGrid, want.MontageGrid)
 	compareCells(t, "nfssync ablation", got.NFSSync, want.NFSSync)
+	if len(got.Failure) != len(want.Failure) {
+		t.Errorf("failure ablation: %d cells, golden has %d", len(got.Failure), len(want.Failure))
+	} else {
+		for i := range want.Failure {
+			if got.Failure[i] != want.Failure[i] {
+				t.Errorf("failure cell %s drifted:\n got: %+v\nwant: %+v",
+					want.Failure[i].Label, got.Failure[i], want.Failure[i])
+			}
+		}
+	}
 }
 
 func at(rows []string, i int) string {

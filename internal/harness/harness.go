@@ -43,6 +43,18 @@ type RunConfig struct {
 	InitializeDisks bool
 	InitializeBytes float64
 
+	// FailureRate injects transient task failures with this per-attempt
+	// probability (wms.Options.FailureRate). Zero — the paper's setting —
+	// disables injection, and the remaining failure fields are ignored.
+	FailureRate float64
+	// MaxRetries bounds failed attempts per task; 0 means the DAGMan
+	// default of 3. Only meaningful when FailureRate > 0.
+	MaxRetries int
+	// FailureSeed drives the failure-injection RNG independently of the
+	// provisioning seed; 0 means wms's fixed default. SweepSeeds varies
+	// it per replicate alongside the jitter seeds.
+	FailureSeed uint64
+
 	// transient marks a derived replicate (SweepSeeds, rep > 0): its
 	// hashed seeds are never requested again, so caching the result and
 	// its per-seed DAG would only retain memory for the process
@@ -57,9 +69,13 @@ type RunResult struct {
 	ProvisionTime float64
 	Utilization   float64
 	MemoryWaits   int64
-	Stats         storage.Stats
-	CostHour      cost.Breakdown
-	CostSecond    cost.Breakdown
+	// Failures and Retries count injected transient failures and the
+	// re-executions they triggered (zero when FailureRate is 0).
+	Failures   int64
+	Retries    int64
+	Stats      storage.Stats
+	CostHour   cost.Breakdown
+	CostSecond cost.Breakdown
 	// Spans records per-task execution windows for Gantt charts and
 	// trace exports.
 	Spans []wms.Span
@@ -72,6 +88,19 @@ type RunResult struct {
 // result's cluster versus k separately provisioned runs (Section VI).
 func (r *RunResult) Amortize(k int) cost.Amortized {
 	return cost.Amortize(r.Cluster, r.Makespan, r.Stats, k)
+}
+
+// Completed counts successful task executions — Spans also records
+// failed attempts when failures are injected (mirrors
+// wms.Result.Completed).
+func (r *RunResult) Completed() int {
+	n := 0
+	for _, s := range r.Spans {
+		if !s.Failed {
+			n++
+		}
+	}
+	return n
 }
 
 // Run executes one experiment cell at the requested scale.
@@ -112,7 +141,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err := sys.Init(env); err != nil {
 		return nil, err
 	}
-	res, err := wms.Run(e, wms.Options{Cluster: c, Storage: sys, DataAware: cfg.DataAware}, w)
+	res, err := wms.Run(e, wms.Options{
+		Cluster:     c,
+		Storage:     sys,
+		DataAware:   cfg.DataAware,
+		FailureRate: cfg.FailureRate,
+		MaxRetries:  cfg.MaxRetries,
+		FailureSeed: cfg.FailureSeed,
+	}, w)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +159,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		ProvisionTime: c.ProvisionTime,
 		Utilization:   res.Utilization(c),
 		MemoryWaits:   res.MemoryWaits,
+		Failures:      res.Failures,
+		Retries:       res.Retries,
 		Stats:         st,
 		Spans:         res.Spans,
 		CostHour:      cost.Compute(c, res.Makespan, st, cost.PerHour),

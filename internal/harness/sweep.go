@@ -8,6 +8,7 @@ import (
 	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/rng"
 	"ec2wfsim/internal/sweep"
+	"ec2wfsim/internal/wms"
 	"ec2wfsim/internal/workflow"
 )
 
@@ -71,9 +72,11 @@ func (o SweepOptions) parallel() int {
 
 // CellKey canonically names a configuration for memoization: defaults
 // are normalized so that an explicit c1.xlarge or seed 0x5EED hits the
-// same cache entry as the zero value. Configurations carrying a custom
-// Workflow are not memoizable (the DAG isn't part of the key) and
-// return "".
+// same cache entry as the zero value. Failure-injection fields are part
+// of the key (cells at different rates are different experiments), but
+// MaxRetries and FailureSeed are normalized away at FailureRate 0, where
+// wms ignores them. Configurations carrying a custom Workflow are not
+// memoizable (the DAG isn't part of the key) and return "".
 func CellKey(cfg RunConfig) string {
 	if cfg.Workflow != nil || cfg.transient {
 		return ""
@@ -86,17 +89,36 @@ func CellKey(cfg RunConfig) string {
 	if seed == 0 {
 		seed = DefaultSeed
 	}
-	return fmt.Sprintf("%s|%s|n=%d|%s|seed=%d|appseed=%d|aware=%t|init=%t:%g",
+	var retries int
+	var failSeed uint64
+	if cfg.FailureRate > 0 {
+		retries = cfg.MaxRetries
+		if retries == 0 {
+			retries = wms.DefaultMaxRetries
+		}
+		failSeed = cfg.FailureSeed
+		if failSeed == 0 {
+			failSeed = wms.DefaultFailureSeed
+		}
+	}
+	return fmt.Sprintf("%s|%s|n=%d|%s|seed=%d|appseed=%d|aware=%t|init=%t:%g|fail=%g:%d:%d",
 		cfg.App, cfg.Storage, cfg.Workers, wt, seed, cfg.AppSeed, cfg.DataAware,
-		cfg.InitializeDisks, cfg.InitializeBytes)
+		cfg.InitializeDisks, cfg.InitializeBytes, cfg.FailureRate, retries, failSeed)
 }
+
+// failureSeedSalt decorrelates a replicate's failure-injection RNG from
+// its provisioning RNG (both otherwise derive from the same CellSeed).
+const failureSeedSalt uint64 = 0xFA11AB1E
 
 // CellSeed derives the RNG seed for one replicate of a cell. Replicate 0
 // is the cell's own seed (the paper's fixed default when unset), so
 // single-seed results are the first replicate of any multi-seed study;
 // higher replicates hash the configuration so each cell's seed sequence
 // depends only on its config, never on scheduling or position in the
-// batch.
+// batch. The hash key deliberately excludes the failure-injection
+// fields: replicate r of a failure cell shares its jitter seeds with
+// replicate r of the failure-free baseline, so overhead comparisons are
+// paired rather than confounded by provisioning spread.
 func CellSeed(cfg RunConfig, replicate int) uint64 {
 	base := cfg.Seed
 	if base == 0 {
@@ -195,6 +217,10 @@ type Replicated struct {
 	CostHour    sweep.Summary
 	CostSecond  sweep.Summary
 	Utilization sweep.Summary
+	// Failures and Retries aggregate the injected-failure counters; all
+	// zeros when the cell runs with FailureRate 0.
+	Failures sweep.Summary
+	Retries  sweep.Summary
 }
 
 // SweepSeeds runs every cell opt.Seeds times with deterministic per-cell
@@ -219,6 +245,12 @@ func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
 				c.Seed = s
 				if c.Workflow == nil {
 					c.AppSeed = s
+				}
+				if c.FailureRate > 0 {
+					// Failure injection replicates too; salting keeps the
+					// failure stream decorrelated from the provisioning
+					// stream that also starts from s.
+					c.FailureSeed = s ^ failureSeedSalt
 				}
 				c.transient = true
 			}
@@ -246,6 +278,8 @@ func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
 			CostHour:    metric(func(r *RunResult) float64 { return r.CostHour.Total() }),
 			CostSecond:  metric(func(r *RunResult) float64 { return r.CostSecond.Total() }),
 			Utilization: metric(func(r *RunResult) float64 { return r.Utilization }),
+			Failures:    metric(func(r *RunResult) float64 { return float64(r.Failures) }),
+			Retries:     metric(func(r *RunResult) float64 { return float64(r.Retries) }),
 		}
 	}
 	return out, nil
@@ -263,6 +297,9 @@ type ResultJSON struct {
 	CostPerHour  float64 `json:"cost_per_hour"`
 	CostPerSec   float64 `json:"cost_per_second"`
 	Utilization  float64 `json:"utilization"`
+	FailureRate  float64 `json:"failure_rate,omitempty"`
+	Failures     int64   `json:"failures,omitempty"`
+	Retries      int64   `json:"retries,omitempty"`
 	NetworkBytes float64 `json:"network_bytes"`
 	Gets         int64   `json:"s3_gets"`
 	Puts         int64   `json:"s3_puts"`
@@ -286,6 +323,9 @@ func (r *RunResult) JSONRow() ResultJSON {
 		CostPerHour:  r.CostHour.Total(),
 		CostPerSec:   r.CostSecond.Total(),
 		Utilization:  r.Utilization,
+		FailureRate:  r.Config.FailureRate,
+		Failures:     r.Failures,
+		Retries:      r.Retries,
 		NetworkBytes: r.Stats.NetworkBytes,
 		Gets:         r.Stats.Gets,
 		Puts:         r.Stats.Puts,
@@ -300,10 +340,13 @@ type ReplicatedJSON struct {
 	Storage     string        `json:"storage"`
 	Workers     int           `json:"workers"`
 	Seeds       int           `json:"seeds"`
+	FailureRate float64       `json:"failure_rate,omitempty"`
 	Makespan    sweep.Summary `json:"makespan_s"`
 	CostPerHour sweep.Summary `json:"cost_per_hour"`
 	CostPerSec  sweep.Summary `json:"cost_per_second"`
 	Utilization sweep.Summary `json:"utilization"`
+	Failures    sweep.Summary `json:"failures"`
+	Retries     sweep.Summary `json:"retries"`
 }
 
 // JSONRow flattens an aggregated cell for export.
@@ -313,9 +356,12 @@ func (r Replicated) JSONRow() ReplicatedJSON {
 		Storage:     r.Config.Storage,
 		Workers:     r.Config.Workers,
 		Seeds:       len(r.Runs),
+		FailureRate: r.Config.FailureRate,
 		Makespan:    r.Makespan,
 		CostPerHour: r.CostHour,
 		CostPerSec:  r.CostSecond,
 		Utilization: r.Utilization,
+		Failures:    r.Failures,
+		Retries:     r.Retries,
 	}
 }

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzBarChart hammers the renderer with adversarial values — negative,
+// NaN, infinite, huge — and asserts it never panics (strings.Repeat with
+// a negative count was a real crash) and never exceeds the row budget.
+func FuzzBarChart(f *testing.F) {
+	f.Add("montage n=4", 3621.0, 0.0, 50)
+	f.Add("delta", -42.5, 3.0, 20)
+	f.Add("tiny", 1e-12, 1e-13, 10)
+	f.Add("nan", math.NaN(), math.NaN(), 30)
+	f.Add("inf", math.Inf(1), 1.0, 40)
+	f.Add("", 0.0, -1.0, 0)
+	f.Fuzz(func(t *testing.T, label string, value, err float64, width int) {
+		// Arbitrary labels: must never panic or emit invalid UTF-8.
+		c := &BarChart{Title: "fuzz", Unit: "s", Width: width % 500}
+		c.AddErr(label, value, err)
+		c.Add(label, -value)
+		if out := c.String(); !utf8.ValidString(out) && utf8.ValidString(label) {
+			t.Errorf("invalid UTF-8 from valid input: %q", out)
+		}
+		// Width bound, checked with a separator-free label: an arbitrary
+		// label (or a whisker-only bar) can embed " | " and make line
+		// parsing ambiguous, so the glyph run is only identifiable when
+		// the label is known to be clean.
+		c2 := &BarChart{Width: width % 500}
+		c2.AddErr("L", value, err)
+		c2.Add("L", -value)
+		w := c2.Width
+		if w <= 0 {
+			w = 50
+		}
+		for _, line := range strings.Split(c2.String(), "\n") {
+			_, rest, ok := strings.Cut(line, " | ")
+			if !ok {
+				continue
+			}
+			bar, _, _ := strings.Cut(rest, " ")
+			if len(bar) > w {
+				t.Errorf("bar %d chars overflows width %d: %q", len(bar), w, line)
+			}
+		}
+	})
+}
+
+// FuzzTable asserts rendering tolerates ragged rows: any mix of row
+// lengths versus the header must render without panicking (indexing
+// widths[i] out of range was a real crash) and keep every cell.
+func FuzzTable(f *testing.F) {
+	f.Add("h1\x00h2", "a", "b\x00c\x00d", "e")
+	f.Add("only", "", "x\x00y", "")
+	f.Add("", "lone", "", "wide\x00wider\x00widest")
+	f.Fuzz(func(t *testing.T, header, r1, r2, r3 string) {
+		split := func(s string) []string {
+			if s == "" {
+				return nil
+			}
+			return strings.Split(s, "\x00")
+		}
+		tb := &Table{Title: "fuzz", Header: split(header)}
+		for _, r := range [][]string{split(r1), split(r2), split(r3)} {
+			tb.AddRow(r...)
+		}
+		out := tb.String()
+		for _, row := range tb.Rows {
+			for _, cell := range row {
+				if !strings.Contains(out, cell) {
+					t.Errorf("cell %q dropped from rendering", cell)
+				}
+			}
+		}
+	})
+}

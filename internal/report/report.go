@@ -5,6 +5,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -42,7 +43,14 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Ragged rows: cells beyond the header carry no column width
+			// (mirroring the i < len(widths) guard above); render them
+			// unpadded instead of panicking.
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -68,10 +76,12 @@ type BarChart struct {
 	Width int
 }
 
-// Bar is one labelled value.
+// Bar is one labelled value, optionally with a symmetric error (e.g. the
+// stddev over replicate seeds) rendered as a ± band and a whisker.
 type Bar struct {
 	Label string
 	Value float64
+	Err   float64
 }
 
 // Add appends a bar.
@@ -79,7 +89,15 @@ func (c *BarChart) Add(label string, value float64) {
 	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
 }
 
-// String renders the chart with bars scaled to the maximum value.
+// AddErr appends a bar with a ± error band.
+func (c *BarChart) AddErr(label string, value, err float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value, Err: err})
+}
+
+// String renders the chart with bars scaled to the maximum magnitude
+// (value plus error, so whiskers always fit the width). Negative values
+// — delta charts plot overheads that can dip below zero — render as
+// empty bars rather than panicking strings.Repeat.
 func (c *BarChart) String() string {
 	width := c.Width
 	if width <= 0 {
@@ -88,27 +106,53 @@ func (c *BarChart) String() string {
 	max := 0.0
 	labelW := 0
 	for _, b := range c.Bars {
-		if b.Value > max {
-			max = b.Value
+		if m := math.Abs(b.Value) + math.Abs(b.Err); m > max {
+			max = m
 		}
 		if len(b.Label) > labelW {
 			labelW = len(b.Label)
 		}
+	}
+	// scale maps a value to a character count, clamped to [0, width] so
+	// negative, NaN or infinite inputs cannot produce an invalid repeat
+	// count or overlong row.
+	scale := func(v float64) int {
+		if max <= 0 || math.IsInf(max, 0) {
+			return 0
+		}
+		n := int(v / max * float64(width))
+		if n < 0 { // negative values, and int(NaN)'s usual minint result
+			return 0
+		}
+		if n > width {
+			return width
+		}
+		return n
 	}
 	var out strings.Builder
 	if c.Title != "" {
 		fmt.Fprintf(&out, "%s\n", c.Title)
 	}
 	for _, b := range c.Bars {
-		n := 0
-		if max > 0 {
-			n = int(b.Value / max * float64(width))
-		}
+		n := scale(b.Value)
 		if n == 0 && b.Value > 0 {
 			n = 1
 		}
+		bar := strings.Repeat("#", n)
+		if err := math.Abs(b.Err); err > 0 && !math.IsNaN(err) {
+			// Whisker: dashes from the bar tip to value+err, capped with
+			// '|' — the upper half of the ± band (the lower half lies
+			// under the bar itself). A negative value has no bar to
+			// anchor the glyph, so only the textual ± band is shown.
+			if hi := scale(b.Value + err); hi > n && b.Value >= 0 {
+				bar += strings.Repeat("-", hi-n-1) + "|"
+			}
+			fmt.Fprintf(&out, "%-*s | %s %.*f ± %.*f%s\n", labelW, b.Label,
+				bar, precision(b.Value), b.Value, precision(err), err, c.Unit)
+			continue
+		}
 		fmt.Fprintf(&out, "%-*s | %s %.*f%s\n", labelW, b.Label,
-			strings.Repeat("#", n), precision(b.Value), b.Value, c.Unit)
+			bar, precision(b.Value), b.Value, c.Unit)
 	}
 	return out.String()
 }

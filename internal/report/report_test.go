@@ -86,6 +86,72 @@ func TestBarChartPrecision(t *testing.T) {
 	}
 }
 
+func TestTableRaggedRowsDoNotPanic(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1")                    // short row
+	tb.AddRow("1", "2", "3", "extra") // more cells than the header
+	out := tb.String()
+	for _, want := range []string{"1", "2", "3", "extra"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged table lost cell %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarChartNegativeValuesClamp(t *testing.T) {
+	// Delta charts (overhead vs a baseline) can dip below zero; a
+	// negative value must render an empty bar, not panic strings.Repeat.
+	c := &BarChart{Width: 10, Unit: "s"}
+	c.Add("regression", -5)
+	c.Add("overhead", 10)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Contains(lines[0], "#") {
+		t.Errorf("negative bar rendered hashes: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "-5") {
+		t.Errorf("negative value lost: %q", lines[0])
+	}
+	// Scaling is against max(|value|): 10 fills the width.
+	if got := strings.Count(lines[1], "#"); got != 10 {
+		t.Errorf("positive bar = %d chars, want 10", got)
+	}
+}
+
+func TestBarChartErrorBars(t *testing.T) {
+	c := &BarChart{Width: 20, Unit: "s"}
+	c.AddErr("cell", 50, 50) // value+err = 100 spans the full width
+	c.AddErr("sure", 100, 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "±") {
+		t.Errorf("error bar missing ± band: %q", lines[0])
+	}
+	// The first "|" is the label separator; a whisker adds a second cap
+	// after the dashes.
+	if strings.Count(lines[0], "|") != 2 || !strings.Contains(lines[0], "-") {
+		t.Errorf("error bar missing whisker glyph: %q", lines[0])
+	}
+	// value 50 of max 100 over width 20 → 10 hashes; whisker to 20 chars.
+	if got := strings.Count(lines[0], "#"); got != 10 {
+		t.Errorf("bar = %d chars, want 10", got)
+	}
+	// Zero error renders exactly like Add (no ± band, no whisker cap).
+	if strings.Contains(lines[1], "±") || strings.Count(lines[1], "|") != 1 {
+		t.Errorf("zero-error bar grew a band: %q", lines[1])
+	}
+}
+
+func TestBarChartErrZeroMatchesAdd(t *testing.T) {
+	a := &BarChart{Width: 20, Unit: "s"}
+	a.Add("x", 42)
+	b := &BarChart{Width: 20, Unit: "s"}
+	b.AddErr("x", 42, 0)
+	if a.String() != b.String() {
+		t.Errorf("AddErr with zero error diverges from Add:\n%q\nvs\n%q", a.String(), b.String())
+	}
+}
+
 func TestEmptyChartAndTable(t *testing.T) {
 	if out := (&BarChart{Title: "empty"}).String(); !strings.Contains(out, "empty") {
 		t.Error("empty chart lost its title")

@@ -6,16 +6,22 @@ import (
 	"io"
 )
 
-// WriteCSV exports the trace as CSV (one row per task execution) for
+// WriteCSV exports the trace as CSV (one row per task attempt) for
 // external plotting: task id, transformation, node, start, exec-start and
-// end timestamps, plus the derived staging and execution durations.
+// end timestamps, the derived staging and execution durations, and
+// whether the attempt was killed by failure injection (failed attempts
+// occupy slots too, so they are real rows, not noise).
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{"task", "transformation", "node", "start", "exec", "end", "staging_s", "execution_s"}
+	header := []string{"task", "transformation", "node", "start", "exec", "end", "staging_s", "execution_s", "failed"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("trace: writing CSV header: %w", err)
 	}
 	for _, s := range t.Spans {
+		failed := "0"
+		if s.Failed {
+			failed = "1"
+		}
 		row := []string{
 			s.Task.ID,
 			s.Task.Transformation,
@@ -25,6 +31,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.3f", s.WriteEnd),
 			fmt.Sprintf("%.3f", s.Exec-s.Start),
 			fmt.Sprintf("%.3f", s.WriteEnd-s.Exec),
+			failed,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: writing CSV row for %s: %w", s.Task.ID, err)

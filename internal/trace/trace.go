@@ -118,7 +118,20 @@ func (t *Trace) Gantt(width int) string {
 // Summary renders a one-paragraph digest of the run.
 func (t *Trace) Summary(coresPerNode int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "tasks=%d makespan=%s\n", len(t.Spans), units.Duration(t.Makespan))
+	completed, failed := 0, 0
+	for _, s := range t.Spans {
+		if s.Failed {
+			failed++
+		} else {
+			completed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(&b, "tasks=%d (+%d failed attempts) makespan=%s\n",
+			completed, failed, units.Duration(t.Makespan))
+	} else {
+		fmt.Fprintf(&b, "tasks=%d makespan=%s\n", completed, units.Duration(t.Makespan))
+	}
 	staging, execution := t.StageSeconds()
 	names := make([]string, 0, len(staging))
 	for n := range staging {

@@ -107,7 +107,26 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "task,transformation,node,start") {
 		t.Errorf("header = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "a,proj,worker0,0.000,2.000,10.000,2.000,8.000") {
+	if !strings.Contains(lines[1], "a,proj,worker0,0.000,2.000,10.000,2.000,8.000,0") {
 		t.Errorf("first row = %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "failed") {
+		t.Errorf("header missing failed column: %q", lines[0])
+	}
+}
+
+func TestWriteCSVFlagsFailedAttempts(t *testing.T) {
+	spans := sampleSpans()
+	spans[1].Failed = true
+	var buf strings.Builder
+	if err := New(spans, 20).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.HasSuffix(lines[2], ",1") {
+		t.Errorf("failed attempt not flagged: %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[1], ",0") {
+		t.Errorf("successful attempt misflagged: %q", lines[1])
 	}
 }

@@ -17,14 +17,37 @@ func TestFailureInjectionRetriesAndCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Spans) != 64 {
-		t.Errorf("completed %d of 64 tasks despite retries", len(res.Spans))
+	if got := res.Completed(); got != 64 {
+		t.Errorf("completed %d of 64 tasks despite retries", got)
 	}
 	if res.Failures == 0 {
 		t.Error("20% failure rate over 64 tasks injected nothing")
 	}
 	if res.Retries != res.Failures {
 		t.Errorf("retries %d != failures %d (transient failures always retry)", res.Retries, res.Failures)
+	}
+	// Failed attempts are visible in the trace, flagged, and well-formed.
+	failed := int64(0)
+	for _, s := range res.Spans {
+		if !s.Failed {
+			continue
+		}
+		failed++
+		if !(s.Start <= s.Exec && s.Exec <= s.WriteEnd) {
+			t.Errorf("failed span of %s is not ordered: %+v", s.Task.ID, s)
+		}
+	}
+	if failed != res.Failures {
+		t.Errorf("trace records %d failed spans, result counts %d failures", failed, res.Failures)
+	}
+	// BusySeconds must equal the sum over every recorded attempt,
+	// successful or aborted — slots were occupied either way.
+	total := 0.0
+	for _, s := range res.Spans {
+		total += s.WriteEnd - s.Start
+	}
+	if diff := total - res.BusySeconds; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("BusySeconds %.6f != span-sum %.6f", res.BusySeconds, total)
 	}
 }
 
@@ -78,8 +101,12 @@ func TestMaxRetriesBoundsAttempts(t *testing.T) {
 	if res.Failures > 16*2 {
 		t.Errorf("failures = %d exceed tasks x MaxRetries = 32", res.Failures)
 	}
-	if len(res.Spans) != 16 {
-		t.Errorf("completed %d of 16 tasks", len(res.Spans))
+	if got := res.Completed(); got != 16 {
+		t.Errorf("completed %d of 16 tasks", got)
+	}
+	if want := 16 + int(res.Failures); len(res.Spans) != want {
+		t.Errorf("spans = %d, want %d (16 completions + %d aborted attempts)",
+			len(res.Spans), want, res.Failures)
 	}
 }
 
@@ -101,8 +128,8 @@ func TestFailureReleasesMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Spans) != 12 {
-		t.Fatalf("completed %d of 12", len(res.Spans))
+	if got := res.Completed(); got != 12 {
+		t.Fatalf("completed %d of 12", got)
 	}
 	n := c.Workers[0]
 	if n.Memory.InUse() != 0 {

@@ -15,11 +15,14 @@ import (
 	"ec2wfsim/internal/workflow"
 )
 
-// spanByTask indexes a result's spans.
+// spanByTask indexes a result's successful spans (failed attempts are
+// also recorded, but precedence is defined by completions).
 func spanByTask(res *Result) map[*workflow.Task]Span {
 	m := make(map[*workflow.Task]Span, len(res.Spans))
 	for _, s := range res.Spans {
-		m[s.Task] = s
+		if !s.Failed {
+			m[s.Task] = s
+		}
 	}
 	return m
 }

@@ -23,6 +23,13 @@ import (
 const (
 	DefaultSubmitDelay  = 0.010
 	DefaultStartLatency = 0.40
+
+	// DefaultMaxRetries is DAGMan's RETRY default, applied when
+	// Options.MaxRetries is zero and failures are injected.
+	DefaultMaxRetries = 3
+	// DefaultFailureSeed seeds the injection RNG when Options.FailureSeed
+	// is zero, keeping failure runs deterministic by default.
+	DefaultFailureSeed = 0xFA11
 )
 
 // Options configures one workflow execution.
@@ -58,13 +65,17 @@ type Options struct {
 	FailureSeed uint64
 }
 
-// Span records one task's execution for traces and utilization analysis.
+// Span records one task attempt for traces and utilization analysis.
+// Failed attempts are recorded too (the slot was occupied either way);
+// WriteEnd is then the abort time and Failed is set, so Gantt charts and
+// trace exports show retried work instead of silently dropping it.
 type Span struct {
 	Task     *workflow.Task
 	Node     string
 	Start    float64 // slot picked the job up
 	Exec     float64 // inputs staged, computation began
-	WriteEnd float64 // outputs published (task complete)
+	WriteEnd float64 // outputs published (task complete), or abort time
+	Failed   bool    // attempt was killed by failure injection
 }
 
 // Result summarizes one workflow execution.
@@ -82,6 +93,18 @@ type Result struct {
 	// Retries counts re-executions (equals Failures when all retries
 	// succeed).
 	Retries int64
+}
+
+// Completed counts successful task executions (spans not flagged
+// Failed); it equals the task count for any run that finished.
+func (r *Result) Completed() int {
+	n := 0
+	for _, s := range r.Spans {
+		if !s.Failed {
+			n++
+		}
+	}
+	return n
 }
 
 // Utilization returns mean worker-core utilization over the makespan.
@@ -148,12 +171,12 @@ func Run(e *sim.Engine, opts Options, w *workflow.Workflow) (*Result, error) {
 		}
 		seed := opts.FailureSeed
 		if seed == 0 {
-			seed = 0xFA11
+			seed = DefaultFailureSeed
 		}
 		run.failRand = rng.New(seed)
 		run.maxRetries = opts.MaxRetries
 		if run.maxRetries == 0 {
-			run.maxRetries = 3
+			run.maxRetries = DefaultMaxRetries
 		}
 		run.attempts = make(map[*workflow.Task]int)
 	}
@@ -266,6 +289,8 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		x.failRand.Float64() < x.opts.FailureRate {
 		// Transient failure: the attempt burns a random fraction of the
 		// computation, the slot is freed, and DAGMan re-queues the job.
+		// The aborted attempt still occupied the slot, so it is recorded
+		// as a failed span and charged to BusySeconds.
 		x.attempts[t]++
 		x.result.Failures++
 		x.result.Retries++
@@ -273,7 +298,10 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		if memMB > 0 {
 			node.Memory.Release(memMB)
 		}
-		x.result.BusySeconds += p.Now() - span.Start
+		span.WriteEnd = p.Now()
+		span.Failed = true
+		x.result.Spans = append(x.result.Spans, span)
+		x.result.BusySeconds += span.WriteEnd - span.Start
 		x.ready.Put(t)
 		return
 	}
