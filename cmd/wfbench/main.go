@@ -14,6 +14,9 @@
 //	wfbench -ablation s3cache
 //	wfbench -ablation failures   # full failure-sensitivity study (rate ladder)
 //	wfbench -failure-rate 0.1 -seeds 5  # failure study at one rate, error-barred
+//	wfbench -ablation outages    # correlated-outage study (rate ladder x checkpointing)
+//	wfbench -outage-rate 1 -seeds 5     # outage study at one rate, error-barred
+//	wfbench -outage-rate 1 -checkpoint-interval 60  # custom checkpoint cadence
 //	wfbench -parallel 8          # bound concurrent cells (default: all cores)
 //	wfbench -csv grid.csv        # full experiment grid as CSV
 //	wfbench -json grid.jsonl     # full grid as JSON lines ("-" = stdout)
@@ -47,33 +50,48 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	failureRate := flag.Float64("failure-rate", 0, "run the failure-sensitivity study at this injected per-attempt failure rate (vs the failure-free baseline)")
 	maxRetries := flag.Int("max-retries", 0, "failed attempts allowed per task in the failure study; 0 = DAGMan's default of 3")
+	outageRate := flag.Float64("outage-rate", 0, "run the outage-ablation study at this rate of node outages per node-hour (vs the outage-free baseline)")
+	outageDuration := flag.Float64("outage-duration", 0, "mean outage length in seconds for the outage study; 0 = the study default")
+	checkpointInterval := flag.Float64("checkpoint-interval", 0, "checkpoint cadence (seconds of computation) for the outage study's checkpointed arm; 0 = the study default")
 	flag.Parse()
 
 	harness.SetParallel(*parallel)
-	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress, *failureRate, *maxRetries); err != nil {
+	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress,
+		*failureRate, *maxRetries, *outageRate, *outageDuration, *checkpointInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool, failureRate float64, maxRetries int) error {
+func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool,
+	failureRate float64, maxRetries int, outageRate, outageDuration, checkpointInterval float64) error {
 	opt := harness.SweepOptions{Seeds: seeds}
 	if progress {
 		opt.Progress = printProgress
 	}
 	failureStudy := failureRate > 0 || ablation == "failures"
-	if failureStudy && (csvPath != "" || jsonPath != "" || table1 || diskTable || fig != 0 ||
-		(failureRate > 0 && ablation != "")) {
-		return fmt.Errorf("the failure study (-failure-rate / -ablation failures) runs alone; drop -csv/-json/-table1/-disk/-ablation/-fig")
+	outageStudy := outageRate > 0 || ablation == "outages"
+	if failureStudy && outageStudy {
+		return fmt.Errorf("the failure and outage studies run separately; pick one of -failure-rate/-ablation failures and -outage-rate/-ablation outages")
+	}
+	if (failureStudy || outageStudy) && (csvPath != "" || jsonPath != "" || table1 || diskTable || fig != 0 ||
+		((failureRate > 0 || outageRate > 0) && ablation != "")) {
+		return fmt.Errorf("the failure/outage studies run alone; drop -csv/-json/-table1/-disk/-ablation/-fig")
 	}
 	if maxRetries != 0 && !failureStudy {
 		return fmt.Errorf("-max-retries applies to the failure study; add -failure-rate or -ablation failures")
 	}
-	if seeds > 1 && (table1 || diskTable || (ablation != "" && ablation != "failures")) {
+	if outageRate < 0 || outageDuration < 0 || checkpointInterval < 0 {
+		return fmt.Errorf("-outage-rate, -outage-duration and -checkpoint-interval must be non-negative")
+	}
+	if (outageDuration != 0 || checkpointInterval != 0) && !outageStudy {
+		return fmt.Errorf("-outage-duration and -checkpoint-interval apply to the outage study; add -outage-rate or -ablation outages")
+	}
+	if seeds > 1 && (table1 || diskTable || (ablation != "" && ablation != "failures" && ablation != "outages")) {
 		// Table I, the disk table and the fixed-cell ablations render the
 		// paper's single measurements; failing loudly beats silently
 		// printing unreplicated numbers under a -seeds flag.
-		return fmt.Errorf("-seeds replicates figures, grid exports and the failure study; this mode renders single-seed numbers")
+		return fmt.Errorf("-seeds replicates figures, grid exports and the failure/outage studies; this mode renders single-seed numbers")
 	}
 	switch {
 	case failureStudy:
@@ -86,6 +104,25 @@ func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, se
 			o.Rates = []float64{failureRate}
 		}
 		_, out, err := harness.FailureStudy(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case outageStudy:
+		// The outage-ablation study: correlated node outages crossed with
+		// the checkpoint/restart arm, paired against the outage-free
+		// baseline. -outage-rate studies one rate; -ablation outages
+		// sweeps the canonical ladder.
+		o := harness.OutageStudyOptions{
+			Duration:           outageDuration,
+			CheckpointInterval: checkpointInterval,
+			Sweep:              opt,
+		}
+		if outageRate > 0 {
+			o.Rates = []float64{outageRate}
+		}
+		_, out, err := harness.OutageStudy(o)
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@
 //	wfsim -app montage -storage nfs -nodes 4 -seeds 10 -parallel 4
 //	wfsim -app broadband -storage s3 -nodes 4 -json
 //	wfsim -app montage -storage pvfs -nodes 4 -failure-rate 0.1 -max-retries 5
+//	wfsim -app montage -storage pvfs -nodes 4 -outage-rate 1 -checkpoint-interval 120
 package main
 
 import (
@@ -42,17 +43,25 @@ func main() {
 	failureRate := flag.Float64("failure-rate", 0, "inject transient task failures with this per-attempt probability (0 = paper's failure-free setting)")
 	maxRetries := flag.Int("max-retries", 0, "failed attempts allowed per task; 0 = DAGMan's default of 3")
 	failureSeed := flag.Uint64("failure-seed", 0, "failure-injection RNG seed; 0 = fixed default")
+	outageRate := flag.Float64("outage-rate", 0, "inject correlated node outages at this rate per node-hour (0 = paper's outage-free setting)")
+	outageDuration := flag.Float64("outage-duration", 0, "mean outage length in seconds; 0 = the default of 120")
+	outageSeed := flag.Uint64("outage-seed", 0, "outage-schedule RNG seed; 0 = fixed default")
+	checkpointInterval := flag.Float64("checkpoint-interval", 0, "write a checkpoint every this many seconds of computation and resume killed tasks from it (0 = no checkpointing)")
 	flag.Parse()
 
 	cfg := harness.RunConfig{
-		App:         *app,
-		Storage:     *sysName,
-		Workers:     *nodes,
-		DataAware:   *dataAware,
-		Seed:        *seed,
-		FailureRate: *failureRate,
-		MaxRetries:  *maxRetries,
-		FailureSeed: *failureSeed,
+		App:                *app,
+		Storage:            *sysName,
+		Workers:            *nodes,
+		DataAware:          *dataAware,
+		Seed:               *seed,
+		FailureRate:        *failureRate,
+		MaxRetries:         *maxRetries,
+		FailureSeed:        *failureSeed,
+		OutageRate:         *outageRate,
+		OutageDuration:     *outageDuration,
+		OutageSeed:         *outageSeed,
+		CheckpointInterval: *checkpointInterval,
 	}
 	if err := run(cfg, *seeds, *parallel, *gantt, *csvPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
@@ -124,6 +133,11 @@ func runReplicated(cfg harness.RunConfig, seeds, parallel int, jsonOut bool) err
 		fmt.Printf("  %-17s %.1f ± %.1f per run (rate %g)\n", "failures",
 			rep.Failures.Mean, rep.Failures.Stddev, cfg.FailureRate)
 	}
+	if cfg.OutageRate > 0 {
+		fmt.Printf("  %-17s %.1f ± %.1f per run (rate %g/node-h, %.0f ± %.0f s lost)\n", "outage kills",
+			rep.OutageKills.Mean, rep.OutageKills.Stddev, cfg.OutageRate,
+			rep.LostWork.Mean, rep.LostWork.Stddev)
+	}
 	fmt.Printf("  %-17s $%.2f ± $%.3f  [$%.2f, $%.2f]\n", "cost per-hour",
 		rep.CostHour.Mean, rep.CostHour.Stddev, rep.CostHour.Min, rep.CostHour.Max)
 	fmt.Printf("  %-17s $%.4f ± $%.5f\n", "cost per-second", rep.CostSecond.Mean, rep.CostSecond.Stddev)
@@ -143,6 +157,17 @@ func printResult(cfg harness.RunConfig, res *harness.RunResult) {
 	if res.Failures > 0 {
 		fmt.Printf("  failures          %d injected, %d retries (rate %g)\n",
 			res.Failures, res.Retries, cfg.FailureRate)
+	}
+	if res.Outages > 0 {
+		fmt.Printf("  outages           %d node outages, %d attempts killed (rate %g/node-h)\n",
+			res.Outages, res.OutageKills, cfg.OutageRate)
+	}
+	if res.LostWorkSeconds > 0 {
+		fmt.Printf("  lost work         %s of slot time\n", units.Duration(res.LostWorkSeconds))
+	}
+	if res.Checkpoints > 0 {
+		fmt.Printf("  checkpoints       %d written (%s staged, every %gs of compute)\n",
+			res.Checkpoints, units.Bytes(res.CheckpointBytes), cfg.CheckpointInterval)
 	}
 	fmt.Printf("  provisioning      %s (excluded from makespan)\n", units.Duration(res.ProvisionTime))
 	fmt.Printf("  makespan          %s (%.0f s)\n", units.Duration(res.Makespan), res.Makespan)

@@ -43,6 +43,36 @@ type Config struct {
 	// Seed varies provisioning jitter; zero uses a fixed default, keeping
 	// runs bit-for-bit reproducible.
 	Seed uint64
+	// FailureRate injects i.i.d. transient task failures with this
+	// per-attempt probability; zero (the paper's setting) disables them.
+	FailureRate float64
+	// OutageRate injects correlated node outages at this expected rate
+	// per node per hour: whole nodes drop offline, their in-flight tasks
+	// are killed and retried, and data they own is unreadable until
+	// recovery. Zero disables outages.
+	OutageRate float64
+	// OutageDuration is the mean outage length in seconds (0 = default).
+	OutageDuration float64
+	// CheckpointInterval makes tasks checkpoint every interval seconds of
+	// computation (real storage traffic) and resume killed attempts from
+	// the last checkpoint. Zero disables checkpointing.
+	CheckpointInterval float64
+}
+
+// runConfig translates the facade config for the harness.
+func (cfg Config) runConfig() harness.RunConfig {
+	return harness.RunConfig{
+		App:                cfg.Application,
+		Workflow:           cfg.Workflow,
+		Storage:            cfg.Storage,
+		Workers:            cfg.Workers,
+		DataAware:          cfg.DataAware,
+		Seed:               cfg.Seed,
+		FailureRate:        cfg.FailureRate,
+		OutageRate:         cfg.OutageRate,
+		OutageDuration:     cfg.OutageDuration,
+		CheckpointInterval: cfg.CheckpointInterval,
+	}
 }
 
 // Result reports one simulated workflow execution.
@@ -64,18 +94,20 @@ type Result struct {
 	// Storage carries the storage system's counters (S3 GET/PUT counts,
 	// cache hits, network bytes, ...).
 	Storage storage.Stats
+	// Failures counts injected i.i.d. task failures; Outages and
+	// OutageKills count node outages and the attempts they killed;
+	// LostWorkSeconds is slot time failed attempts burned beyond any
+	// checkpointed progress; Checkpoints counts checkpoint writes.
+	Failures        int64
+	Outages         int64
+	OutageKills     int64
+	LostWorkSeconds float64
+	Checkpoints     int64
 }
 
 // Run simulates one deployment.
 func Run(cfg Config) (*Result, error) {
-	r, err := harness.Run(harness.RunConfig{
-		App:       cfg.Application,
-		Workflow:  cfg.Workflow,
-		Storage:   cfg.Storage,
-		Workers:   cfg.Workers,
-		DataAware: cfg.DataAware,
-		Seed:      cfg.Seed,
-	})
+	r, err := harness.Run(cfg.runConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +118,11 @@ func Run(cfg Config) (*Result, error) {
 		CostPerSecond:    r.CostSecond.Total(),
 		Utilization:      r.Utilization,
 		Storage:          r.Stats,
+		Failures:         r.Failures,
+		Outages:          r.Outages,
+		OutageKills:      r.OutageKills,
+		LostWorkSeconds:  r.LostWorkSeconds,
+		Checkpoints:      r.Checkpoints,
 	}, nil
 }
 
@@ -102,14 +139,7 @@ type AmortizedCost struct {
 
 // Amortize runs the configuration once and prices k successive runs.
 func Amortize(cfg Config, runs int) (*AmortizedCost, error) {
-	r, err := harness.Run(harness.RunConfig{
-		App:       cfg.Application,
-		Workflow:  cfg.Workflow,
-		Storage:   cfg.Storage,
-		Workers:   cfg.Workers,
-		DataAware: cfg.DataAware,
-		Seed:      cfg.Seed,
-	})
+	r, err := harness.Run(cfg.runConfig())
 	if err != nil {
 		return nil, err
 	}

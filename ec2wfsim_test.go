@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/workflow"
 )
 
 func TestFacadeRunsScaledWorkflow(t *testing.T) {
@@ -24,6 +25,42 @@ func TestFacadeRunsScaledWorkflow(t *testing.T) {
 	if res.ProvisionSeconds < 70 {
 		t.Errorf("provisioning %.0f s below the EC2 boot window", res.ProvisionSeconds)
 	}
+}
+
+func TestFacadeOutagesAndCheckpoints(t *testing.T) {
+	w, err := apps.Montage(apps.MontageConfig{Images: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Workflow: w, Storage: "gluster-nufa", Workers: 2,
+		OutageRate: 20, OutageDuration: 60, CheckpointInterval: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outages == 0 {
+		t.Error("aggressive outage rate produced no outages")
+	}
+	if res.MakespanSeconds <= 0 {
+		t.Error("non-positive makespan")
+	}
+	clean, err := Run(Config{Workflow: mustMontage(t), Storage: "gluster-nufa", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Outages != 0 || clean.OutageKills != 0 || clean.Checkpoints != 0 {
+		t.Errorf("outage-free run reports outage stats: %+v", clean)
+	}
+}
+
+func mustMontage(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	w, err := apps.Montage(apps.MontageConfig{Images: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 func TestFacadeValidation(t *testing.T) {

@@ -116,7 +116,59 @@ type Node struct {
 	Disk   *disk.Disk
 
 	BootDelay float64 // seconds from provision request to usable
+
+	// Outage state (correlated node failures): while down, the node's
+	// slots stop requesting jobs, in-flight attempts are killed, and
+	// storage traffic that needs this node blocks in WaitUp until
+	// recovery. The memory epoch counts outages so RAM-backed caches
+	// (page caches) can detect that their contents were lost; disk
+	// contents survive (the node comes back like a rebooted instance).
+	down      bool
+	memEpoch  int64
+	upWaiters []*sim.Proc
 }
+
+// Down reports whether the node is currently offline.
+func (n *Node) Down() bool { return n.down }
+
+// SetDown takes the node offline. RAM contents are lost (the memory
+// epoch advances); disk contents survive. Idempotent while down.
+func (n *Node) SetDown() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.memEpoch++
+}
+
+// SetUp brings the node back online, waking every process blocked in
+// WaitUp (in arrival order, through the event queue, so recovery is
+// deterministic).
+func (n *Node) SetUp() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	waiters := n.upWaiters
+	n.upWaiters = nil
+	for _, p := range waiters {
+		p.Resume()
+	}
+}
+
+// WaitUp blocks p until the node is online. It returns immediately —
+// without yielding — when the node is already up, so outage-free runs
+// are untouched by these checks.
+func (n *Node) WaitUp(p *sim.Proc) {
+	for n.down {
+		n.upWaiters = append(n.upWaiters, p)
+		p.Suspend()
+	}
+}
+
+// MemEpoch returns the node's memory epoch: it advances on every outage,
+// signalling RAM-backed caches that their contents are gone.
+func (n *Node) MemEpoch() int64 { return n.memEpoch }
 
 // MemoryMB converts a byte figure to the semaphore's MB units (ceiling).
 func MemoryMB(bytes float64) int {

@@ -143,8 +143,27 @@ func (n *Net) SetResourceCapacity(r *Resource, capacity float64) {
 	}
 	n.advance()
 	r.capacity = capacity
+	if !n.uses(r) {
+		// An idle resource is skipped by reallocate (which only visits
+		// resources of active flows), so a load left over from earlier
+		// traffic would survive the capacity change and Utilization()
+		// could report nonsense (> 1) on a drained resource.
+		r.load = 0
+	}
 	n.reallocate()
 	n.scheduleNext()
+}
+
+// uses reports whether any active transfer crosses r.
+func (n *Net) uses(r *Resource) bool {
+	for _, t := range n.active {
+		for _, tr := range t.resources {
+			if tr == r {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Transfer moves size bytes across the given resources, blocking p until
@@ -206,6 +225,12 @@ func (n *Net) StartTransfer(size float64, resources ...*Resource) *Pending {
 func (n *Net) TransferCapped(p *sim.Proc, size, maxRate float64, resources ...*Resource) {
 	if size <= 0 {
 		return
+	}
+	if maxRate <= 0 {
+		// Validate here rather than letting NewResource panic with an
+		// opaque internal "flowcap" message: the bug is in the caller's
+		// rate, so name it.
+		panic(fmt.Sprintf("flow: TransferCapped with non-positive max rate %g", maxRate))
 	}
 	cap := NewResource("flowcap", maxRate)
 	n.Transfer(p, size, append([]*Resource{cap}, resources...)...)
@@ -352,14 +377,22 @@ func (n *Net) onTimer() {
 		}
 	}
 	n.active = remaining
+	// Clear the completed transfers' committed loads before re-planning:
+	// reallocate only visits resources of still-active flows, so a
+	// resource whose flows all just finished would otherwise keep its
+	// stale allocation forever — Load()/Utilization() reporting traffic
+	// on a drained resource. (Resources shared with surviving flows are
+	// recomputed from scratch by the reallocate below.)
+	for _, t := range done {
+		for _, r := range t.resources {
+			r.load = 0
+		}
+	}
 	for _, t := range done {
 		t.pending.complete()
 	}
 	if len(n.active) > 0 {
 		n.reallocate()
 		n.scheduleNext()
-	} else {
-		// Clear loads on the resources we last touched.
-		n.reallocate()
 	}
 }

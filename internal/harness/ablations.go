@@ -46,6 +46,26 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 		}
 		return results, out, nil
 	}
+	if name == "outages" {
+		// Likewise for the correlated-outage study (rate ladder crossed
+		// with the checkpoint/restart arm).
+		cells, out, err := OutageStudy(OutageStudyOptions{Sweep: opt})
+		if err != nil {
+			return nil, "", err
+		}
+		results := make([]AblationResult, len(cells))
+		for i, c := range cells {
+			ckpt := ""
+			if c.Checkpointed() {
+				ckpt = " +ckpt"
+			}
+			results[i] = AblationResult{
+				Label:  fmt.Sprintf("%s/%s r=%g%s", c.Config.App, c.Config.Storage, c.Config.OutageRate, ckpt),
+				Result: c.Rep.Runs[0],
+			}
+		}
+		return results, out, nil
+	}
 	a, ok := ablations[name]
 	if !ok {
 		return nil, "", fmt.Errorf("harness: unknown ablation %q (want one of %s)", name, strings.Join(AblationNames(), ", "))
@@ -59,7 +79,7 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures"}
+	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures", "outages"}
 }
 
 // ablation declares one experiment: a labelled list of cells plus an

@@ -10,11 +10,12 @@ import (
 	"testing"
 )
 
-// The golden file pins the simulation's paper numbers: Table I, the full
-// Montage grid (Figure 2/5 data) and the nfssync ablation. Any refactor
-// that perturbs a makespan or cost — including changes to the sweep
-// engine, the flow network or the RNG — fails here before it can
-// silently drift the reproduction away from the paper.
+// The golden file pins the simulation's paper numbers: Table I, all
+// three application grids (Figures 2-7 data), the nfssync ablation, a
+// failure-ablation row and an outage-ablation row. Any refactor that
+// perturbs a makespan or cost — including changes to the sweep engine,
+// the flow network or the RNG — fails here before it can silently drift
+// the reproduction away from the paper.
 //
 // Regenerate deliberately with:
 //
@@ -38,11 +39,26 @@ type goldenFailureCell struct {
 	Retries    int64   `json:"retries"`
 }
 
+// goldenOutageCell pins the counters an outage-ablation row adds on top
+// of the timing numbers.
+type goldenOutageCell struct {
+	Label       string  `json:"label"`
+	Makespan    float64 `json:"makespan_s"`
+	CostSecond  float64 `json:"cost_per_second"`
+	Outages     int64   `json:"outages"`
+	OutageKills int64   `json:"outage_kills"`
+	Checkpoints int64   `json:"checkpoints"`
+	LostWork    float64 `json:"lost_work_s"`
+}
+
 type goldenData struct {
-	TableI      []string            `json:"table1_rows"`
-	MontageGrid []goldenCell        `json:"montage_grid"`
-	NFSSync     []goldenCell        `json:"nfssync_ablation"`
-	Failure     []goldenFailureCell `json:"failure_ablation"`
+	TableI        []string            `json:"table1_rows"`
+	MontageGrid   []goldenCell        `json:"montage_grid"`
+	EpigenomeGrid []goldenCell        `json:"epigenome_grid"`
+	BroadbandGrid []goldenCell        `json:"broadband_grid"`
+	NFSSync       []goldenCell        `json:"nfssync_ablation"`
+	Failure       []goldenFailureCell `json:"failure_ablation"`
+	Outage        []goldenOutageCell  `json:"outage_ablation"`
 }
 
 func collectGolden(t *testing.T) goldenData {
@@ -57,18 +73,25 @@ func collectGolden(t *testing.T) goldenData {
 			g.TableI = append(g.TableI, string(line))
 		}
 	}
-	cells, err := Grid("montage", nil)
-	if err != nil {
-		t.Fatal(err)
+	grid := func(app string) []goldenCell {
+		cells, err := Grid(app, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]goldenCell, 0, len(cells))
+		for _, c := range cells {
+			out = append(out, goldenCell{
+				Label:      fmt.Sprintf("%s/%d", c.System, c.Workers),
+				Makespan:   c.Result.Makespan,
+				CostHour:   c.Result.CostHour.Total(),
+				CostSecond: c.Result.CostSecond.Total(),
+			})
+		}
+		return out
 	}
-	for _, c := range cells {
-		g.MontageGrid = append(g.MontageGrid, goldenCell{
-			Label:      fmt.Sprintf("%s/%d", c.System, c.Workers),
-			Makespan:   c.Result.Makespan,
-			CostHour:   c.Result.CostHour.Total(),
-			CostSecond: c.Result.CostSecond.Total(),
-		})
-	}
+	g.MontageGrid = grid("montage")
+	g.EpigenomeGrid = grid("epigenome")
+	g.BroadbandGrid = grid("broadband")
 	results, _, err := Ablation("nfssync")
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +122,30 @@ func collectGolden(t *testing.T) goldenData {
 			CostSecond: r.CostSecond.Total(),
 			Failures:   r.Failures,
 			Retries:    r.Retries,
+		})
+	}
+	// One outage-ablation pair (baseline + outages with checkpointing)
+	// pins the correlated-failure plumbing: the outage schedule, the
+	// kill/restart path and the checkpoint traffic all feed the
+	// simulation through RunConfig, so any drift in the outage subsystem
+	// or its CellKey handling fails here.
+	for _, rate := range []float64{0, 1} {
+		r, err := RunCached(RunConfig{
+			App: "montage", Storage: "pvfs",
+			Workers: DefaultOutageStudyWorkers, OutageRate: rate,
+			CheckpointInterval: DefaultOutageStudyCheckpoint,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Outage = append(g.Outage, goldenOutageCell{
+			Label:       fmt.Sprintf("montage/pvfs out=%g +ckpt", rate),
+			Makespan:    r.Makespan,
+			CostSecond:  r.CostSecond.Total(),
+			Outages:     r.Outages,
+			OutageKills: r.OutageKills,
+			Checkpoints: r.Checkpoints,
+			LostWork:    r.LostWorkSeconds,
 		})
 	}
 	return g
@@ -140,6 +187,8 @@ func TestGoldenPaperNumbers(t *testing.T) {
 		}
 	}
 	compareCells(t, "montage grid", got.MontageGrid, want.MontageGrid)
+	compareCells(t, "epigenome grid", got.EpigenomeGrid, want.EpigenomeGrid)
+	compareCells(t, "broadband grid", got.BroadbandGrid, want.BroadbandGrid)
 	compareCells(t, "nfssync ablation", got.NFSSync, want.NFSSync)
 	if len(got.Failure) != len(want.Failure) {
 		t.Errorf("failure ablation: %d cells, golden has %d", len(got.Failure), len(want.Failure))
@@ -148,6 +197,16 @@ func TestGoldenPaperNumbers(t *testing.T) {
 			if got.Failure[i] != want.Failure[i] {
 				t.Errorf("failure cell %s drifted:\n got: %+v\nwant: %+v",
 					want.Failure[i].Label, got.Failure[i], want.Failure[i])
+			}
+		}
+	}
+	if len(got.Outage) != len(want.Outage) {
+		t.Errorf("outage ablation: %d cells, golden has %d", len(got.Outage), len(want.Outage))
+	} else {
+		for i := range want.Outage {
+			if got.Outage[i] != want.Outage[i] {
+				t.Errorf("outage cell %s drifted:\n got: %+v\nwant: %+v",
+					want.Outage[i].Label, got.Outage[i], want.Outage[i])
 			}
 		}
 	}

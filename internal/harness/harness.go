@@ -55,6 +55,24 @@ type RunConfig struct {
 	// it per replicate alongside the jitter seeds.
 	FailureSeed uint64
 
+	// OutageRate injects correlated node outages (whole nodes offline,
+	// in-flight tasks killed, node-resident data unavailable) at this
+	// expected rate per node per hour (wms.Options.OutageRate). Zero —
+	// the paper's setting — disables outages, and OutageDuration and
+	// OutageSeed are ignored.
+	OutageRate float64
+	// OutageDuration is the mean outage length in seconds; 0 means the
+	// wms default. Only meaningful when OutageRate > 0.
+	OutageDuration float64
+	// OutageSeed drives the outage schedule independently of the other
+	// seeds; 0 means wms's fixed default. SweepSeeds varies it per
+	// replicate alongside the jitter seeds.
+	OutageSeed uint64
+	// CheckpointInterval makes tasks checkpoint every interval seconds of
+	// computation and resume from the last checkpoint after a failure or
+	// outage kill (wms.Options.CheckpointInterval). Zero disables it.
+	CheckpointInterval float64
+
 	// transient marks a derived replicate (SweepSeeds, rep > 0): its
 	// hashed seeds are never requested again, so caching the result and
 	// its per-seed DAG would only retain memory for the process
@@ -69,13 +87,23 @@ type RunResult struct {
 	ProvisionTime float64
 	Utilization   float64
 	MemoryWaits   int64
-	// Failures and Retries count injected transient failures and the
-	// re-executions they triggered (zero when FailureRate is 0).
-	Failures   int64
-	Retries    int64
-	Stats      storage.Stats
-	CostHour   cost.Breakdown
-	CostSecond cost.Breakdown
+	// Failures counts injected transient failures (zero when FailureRate
+	// is 0); Retries counts all re-executions — injected failures plus
+	// outage kills.
+	Failures int64
+	Retries  int64
+	// Outages and OutageKills count node outages and the attempts they
+	// killed; LostWorkSeconds sums slot time failed attempts burned
+	// beyond any checkpointed progress; Checkpoints/CheckpointBytes
+	// count checkpoint writes and their staged bytes.
+	Outages         int64
+	OutageKills     int64
+	LostWorkSeconds float64
+	Checkpoints     int64
+	CheckpointBytes float64
+	Stats           storage.Stats
+	CostHour        cost.Breakdown
+	CostSecond      cost.Breakdown
 	// Spans records per-task execution windows for Gantt charts and
 	// trace exports.
 	Spans []wms.Span
@@ -142,30 +170,39 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 	res, err := wms.Run(e, wms.Options{
-		Cluster:     c,
-		Storage:     sys,
-		DataAware:   cfg.DataAware,
-		FailureRate: cfg.FailureRate,
-		MaxRetries:  cfg.MaxRetries,
-		FailureSeed: cfg.FailureSeed,
+		Cluster:            c,
+		Storage:            sys,
+		DataAware:          cfg.DataAware,
+		FailureRate:        cfg.FailureRate,
+		MaxRetries:         cfg.MaxRetries,
+		FailureSeed:        cfg.FailureSeed,
+		OutageRate:         cfg.OutageRate,
+		OutageDuration:     cfg.OutageDuration,
+		OutageSeed:         cfg.OutageSeed,
+		CheckpointInterval: cfg.CheckpointInterval,
 	}, w)
 	if err != nil {
 		return nil, err
 	}
 	st := sys.Stats()
 	return &RunResult{
-		Config:        cfg,
-		Makespan:      res.Makespan,
-		ProvisionTime: c.ProvisionTime,
-		Utilization:   res.Utilization(c),
-		MemoryWaits:   res.MemoryWaits,
-		Failures:      res.Failures,
-		Retries:       res.Retries,
-		Stats:         st,
-		Spans:         res.Spans,
-		CostHour:      cost.Compute(c, res.Makespan, st, cost.PerHour),
-		CostSecond:    cost.Compute(c, res.Makespan, st, cost.PerSecond),
-		Cluster:       c,
+		Config:          cfg,
+		Makespan:        res.Makespan,
+		ProvisionTime:   c.ProvisionTime,
+		Utilization:     res.Utilization(c),
+		MemoryWaits:     res.MemoryWaits,
+		Failures:        res.Failures,
+		Retries:         res.Retries,
+		Outages:         res.Outages,
+		OutageKills:     res.OutageKills,
+		LostWorkSeconds: res.LostWorkSeconds,
+		Checkpoints:     res.Checkpoints,
+		CheckpointBytes: res.CheckpointBytes,
+		Stats:           st,
+		Spans:           res.Spans,
+		CostHour:        cost.Compute(c, res.Makespan, st, cost.PerHour),
+		CostSecond:      cost.Compute(c, res.Makespan, st, cost.PerSecond),
+		Cluster:         c,
 	}, nil
 }
 

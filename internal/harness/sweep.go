@@ -72,11 +72,13 @@ func (o SweepOptions) parallel() int {
 
 // CellKey canonically names a configuration for memoization: defaults
 // are normalized so that an explicit c1.xlarge or seed 0x5EED hits the
-// same cache entry as the zero value. Failure-injection fields are part
-// of the key (cells at different rates are different experiments), but
-// MaxRetries and FailureSeed are normalized away at FailureRate 0, where
-// wms ignores them. Configurations carrying a custom Workflow are not
-// memoizable (the DAG isn't part of the key) and return "".
+// same cache entry as the zero value. Failure-injection and
+// outage/checkpoint fields are part of the key (cells at different
+// rates or intervals are different experiments), but fields wms ignores
+// are normalized away: MaxRetries and FailureSeed at FailureRate 0,
+// OutageDuration and OutageSeed at OutageRate 0. Configurations
+// carrying a custom Workflow are not memoizable (the DAG isn't part of
+// the key) and return "".
 func CellKey(cfg RunConfig) string {
 	if cfg.Workflow != nil || cfg.transient {
 		return ""
@@ -101,24 +103,42 @@ func CellKey(cfg RunConfig) string {
 			failSeed = wms.DefaultFailureSeed
 		}
 	}
-	return fmt.Sprintf("%s|%s|n=%d|%s|seed=%d|appseed=%d|aware=%t|init=%t:%g|fail=%g:%d:%d",
+	var outDur float64
+	var outSeed uint64
+	if cfg.OutageRate > 0 {
+		outDur = cfg.OutageDuration
+		if outDur == 0 {
+			outDur = wms.DefaultOutageDuration
+		}
+		outSeed = cfg.OutageSeed
+		if outSeed == 0 {
+			outSeed = wms.DefaultOutageSeed
+		}
+	}
+	return fmt.Sprintf("%s|%s|n=%d|%s|seed=%d|appseed=%d|aware=%t|init=%t:%g|fail=%g:%d:%d|out=%g:%g:%d|ckpt=%g",
 		cfg.App, cfg.Storage, cfg.Workers, wt, seed, cfg.AppSeed, cfg.DataAware,
-		cfg.InitializeDisks, cfg.InitializeBytes, cfg.FailureRate, retries, failSeed)
+		cfg.InitializeDisks, cfg.InitializeBytes, cfg.FailureRate, retries, failSeed,
+		cfg.OutageRate, outDur, outSeed, cfg.CheckpointInterval)
 }
 
 // failureSeedSalt decorrelates a replicate's failure-injection RNG from
 // its provisioning RNG (both otherwise derive from the same CellSeed).
 const failureSeedSalt uint64 = 0xFA11AB1E
 
+// outageSeedSalt likewise decorrelates a replicate's outage schedule
+// from its provisioning and failure streams.
+const outageSeedSalt uint64 = 0x0D07A6E5
+
 // CellSeed derives the RNG seed for one replicate of a cell. Replicate 0
 // is the cell's own seed (the paper's fixed default when unset), so
 // single-seed results are the first replicate of any multi-seed study;
 // higher replicates hash the configuration so each cell's seed sequence
 // depends only on its config, never on scheduling or position in the
-// batch. The hash key deliberately excludes the failure-injection
-// fields: replicate r of a failure cell shares its jitter seeds with
-// replicate r of the failure-free baseline, so overhead comparisons are
-// paired rather than confounded by provisioning spread.
+// batch. The hash key deliberately excludes the failure-injection,
+// outage and checkpoint fields: replicate r of a failure or outage cell
+// shares its jitter seeds with replicate r of the failure-free
+// baseline, so overhead comparisons are paired rather than confounded
+// by provisioning spread.
 func CellSeed(cfg RunConfig, replicate int) uint64 {
 	base := cfg.Seed
 	if base == 0 {
@@ -221,6 +241,12 @@ type Replicated struct {
 	// zeros when the cell runs with FailureRate 0.
 	Failures sweep.Summary
 	Retries  sweep.Summary
+	// OutageKills, LostWork and CheckpointBytes aggregate the
+	// outage/checkpoint counters; all zeros at OutageRate 0 and
+	// CheckpointInterval 0.
+	OutageKills     sweep.Summary
+	LostWork        sweep.Summary
+	CheckpointBytes sweep.Summary
 }
 
 // SweepSeeds runs every cell opt.Seeds times with deterministic per-cell
@@ -252,6 +278,12 @@ func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
 					// stream that also starts from s.
 					c.FailureSeed = s ^ failureSeedSalt
 				}
+				if c.OutageRate > 0 {
+					// The outage schedule replicates with its own salt so
+					// a replicate's outages differ from both its jitter
+					// and its failure stream.
+					c.OutageSeed = s ^ outageSeedSalt
+				}
 				c.transient = true
 			}
 			flat = append(flat, c)
@@ -272,14 +304,17 @@ func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
 			return sweep.Summarize(xs)
 		}
 		out[i] = Replicated{
-			Config:      cfg,
-			Runs:        runs,
-			Makespan:    metric(func(r *RunResult) float64 { return r.Makespan }),
-			CostHour:    metric(func(r *RunResult) float64 { return r.CostHour.Total() }),
-			CostSecond:  metric(func(r *RunResult) float64 { return r.CostSecond.Total() }),
-			Utilization: metric(func(r *RunResult) float64 { return r.Utilization }),
-			Failures:    metric(func(r *RunResult) float64 { return float64(r.Failures) }),
-			Retries:     metric(func(r *RunResult) float64 { return float64(r.Retries) }),
+			Config:          cfg,
+			Runs:            runs,
+			Makespan:        metric(func(r *RunResult) float64 { return r.Makespan }),
+			CostHour:        metric(func(r *RunResult) float64 { return r.CostHour.Total() }),
+			CostSecond:      metric(func(r *RunResult) float64 { return r.CostSecond.Total() }),
+			Utilization:     metric(func(r *RunResult) float64 { return r.Utilization }),
+			Failures:        metric(func(r *RunResult) float64 { return float64(r.Failures) }),
+			Retries:         metric(func(r *RunResult) float64 { return float64(r.Retries) }),
+			OutageKills:     metric(func(r *RunResult) float64 { return float64(r.OutageKills) }),
+			LostWork:        metric(func(r *RunResult) float64 { return r.LostWorkSeconds }),
+			CheckpointBytes: metric(func(r *RunResult) float64 { return r.CheckpointBytes }),
 		}
 	}
 	return out, nil
@@ -300,6 +335,13 @@ type ResultJSON struct {
 	FailureRate  float64 `json:"failure_rate,omitempty"`
 	Failures     int64   `json:"failures,omitempty"`
 	Retries      int64   `json:"retries,omitempty"`
+	OutageRate   float64 `json:"outage_rate,omitempty"`
+	Outages      int64   `json:"outages,omitempty"`
+	OutageKills  int64   `json:"outage_kills,omitempty"`
+	CheckpointS  float64 `json:"checkpoint_interval_s,omitempty"`
+	Checkpoints  int64   `json:"checkpoints,omitempty"`
+	CheckpointB  float64 `json:"checkpoint_bytes,omitempty"`
+	LostWorkS    float64 `json:"lost_work_s,omitempty"`
 	NetworkBytes float64 `json:"network_bytes"`
 	Gets         int64   `json:"s3_gets"`
 	Puts         int64   `json:"s3_puts"`
@@ -326,6 +368,13 @@ func (r *RunResult) JSONRow() ResultJSON {
 		FailureRate:  r.Config.FailureRate,
 		Failures:     r.Failures,
 		Retries:      r.Retries,
+		OutageRate:   r.Config.OutageRate,
+		Outages:      r.Outages,
+		OutageKills:  r.OutageKills,
+		CheckpointS:  r.Config.CheckpointInterval,
+		Checkpoints:  r.Checkpoints,
+		CheckpointB:  r.CheckpointBytes,
+		LostWorkS:    r.LostWorkSeconds,
 		NetworkBytes: r.Stats.NetworkBytes,
 		Gets:         r.Stats.Gets,
 		Puts:         r.Stats.Puts,
@@ -347,6 +396,11 @@ type ReplicatedJSON struct {
 	Utilization sweep.Summary `json:"utilization"`
 	Failures    sweep.Summary `json:"failures"`
 	Retries     sweep.Summary `json:"retries"`
+	OutageRate  float64       `json:"outage_rate,omitempty"`
+	CheckpointS float64       `json:"checkpoint_interval_s,omitempty"`
+	OutageKills sweep.Summary `json:"outage_kills"`
+	LostWork    sweep.Summary `json:"lost_work_s"`
+	CkptBytes   sweep.Summary `json:"checkpoint_bytes"`
 }
 
 // JSONRow flattens an aggregated cell for export.
@@ -363,5 +417,10 @@ func (r Replicated) JSONRow() ReplicatedJSON {
 		Utilization: r.Utilization,
 		Failures:    r.Failures,
 		Retries:     r.Retries,
+		OutageRate:  r.Config.OutageRate,
+		CheckpointS: r.Config.CheckpointInterval,
+		OutageKills: r.OutageKills,
+		LostWork:    r.LostWork,
+		CkptBytes:   r.CheckpointBytes,
 	}
 }

@@ -23,9 +23,24 @@ type PageCache struct {
 	entries map[*workflow.File]*list.Element
 	lru     *list.List // front = most recently used
 	size    float64
+	// epoch mirrors the node's memory epoch: when an outage reboots the
+	// node, its RAM — and therefore this cache — is lost.
+	epoch int64
 
 	Hits   int64
 	Misses int64
+}
+
+// syncEpoch drops the cache when the node rebooted since the last
+// access (page caches live in RAM; outages erase them).
+func (c *PageCache) syncEpoch() {
+	if c.epoch == c.node.MemEpoch() {
+		return
+	}
+	c.epoch = c.node.MemEpoch()
+	c.entries = make(map[*workflow.File]*list.Element)
+	c.lru.Init()
+	c.size = 0
 }
 
 // NewPageCache returns an empty cache bound to node's memory.
@@ -70,6 +85,7 @@ func (c *PageCache) trim() {
 // refreshing recency. Memory pressure is applied first, so a file cached
 // before a large task started may have been evicted by it.
 func (c *PageCache) Lookup(f *workflow.File) bool {
+	c.syncEpoch()
 	c.trim()
 	if el, ok := c.entries[f]; ok {
 		c.lru.MoveToFront(el)
@@ -84,6 +100,7 @@ func (c *PageCache) Lookup(f *workflow.File) bool {
 // larger than the current capacity are not cached (they would evict
 // everything for nothing).
 func (c *PageCache) Insert(f *workflow.File) {
+	c.syncEpoch()
 	if _, ok := c.entries[f]; ok {
 		c.lru.MoveToFront(c.entries[f])
 		return

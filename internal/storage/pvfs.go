@@ -110,6 +110,20 @@ func (v *PVFS) servers(f *workflow.File) []*cluster.Node {
 // shard crossing the server's disk (and the NICs when remote).
 func (v *PVFS) stripedIO(p *sim.Proc, node *cluster.Node, f *workflow.File, write bool) {
 	servers := v.servers(f)
+	// A striped file is unavailable while ANY of its stripe servers is
+	// down — the whole-file fan-out below needs every shard. This is what
+	// makes node outages disproportionately expensive for PVFS. Rescan
+	// after every blocking wait: an earlier server may have gone down
+	// again while we waited on a later one (overlapping outages).
+	for again := true; again; {
+		again = false
+		for _, s := range servers {
+			if s.Down() {
+				s.WaitUp(p)
+				again = true
+			}
+		}
+	}
 	share := f.Size / float64(len(servers))
 	// All shards of one logical file move through the client's request
 	// window, modelled as a rate cap shared by the shard transfers.

@@ -100,8 +100,12 @@ func checkInit(s System, env *Env) error {
 }
 
 // readRemote charges a read of size bytes from owner's disk into reader,
-// skipping the NICs when both are the same node.
+// skipping the NICs when both are the same node. A down owner makes the
+// data unavailable: the read blocks until the node recovers (its disk
+// contents survive the outage), which is how correlated outages degrade
+// systems that place data on worker nodes.
 func readRemote(p *sim.Proc, owner, reader *cluster.Node, size float64) {
+	owner.WaitUp(p)
 	if owner == reader {
 		owner.Disk.Read(p, size)
 		return
@@ -109,8 +113,10 @@ func readRemote(p *sim.Proc, owner, reader *cluster.Node, size float64) {
 	owner.Disk.Read(p, size, owner.NICOut, reader.NICIn)
 }
 
-// writeRemote charges a write of size bytes from writer onto owner's disk.
+// writeRemote charges a write of size bytes from writer onto owner's
+// disk, blocking while the owner is down (as readRemote does for reads).
 func writeRemote(p *sim.Proc, writer, owner *cluster.Node, size float64) {
+	owner.WaitUp(p)
 	if owner == writer {
 		owner.Disk.Write(p, size)
 		return

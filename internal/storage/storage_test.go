@@ -12,6 +12,96 @@ import (
 	"ec2wfsim/internal/workflow"
 )
 
+// deployOutage builds a 2-worker cluster on the given storage system for
+// the outage-degradation tests below.
+func deployOutage(t *testing.T, sysName string) (*sim.Engine, *cluster.Cluster, System) {
+	t.Helper()
+	sys, err := ByName(sysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	net := flow.NewNet(e)
+	c, err := cluster.New(e, net, rng.New(3), cluster.Config{
+		Workers:    2,
+		WorkerType: cluster.C1XLarge(),
+		Extra:      sys.ExtraNodeTypes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(5)}
+	if err := sys.Init(env); err != nil {
+		t.Fatal(err)
+	}
+	return e, c, sys
+}
+
+// TestReadBlocksWhileOwnerDown: a GlusterFS read whose owner node is
+// offline must wait for the node to recover before the data moves.
+func TestReadBlocksWhileOwnerDown(t *testing.T) {
+	e, c, sys := deployOutage(t, "gluster-nufa")
+	f := &workflow.File{Name: "data", Size: 10 * units.MB}
+	sys.PreStage([]*workflow.File{f}) // round-robin: lands on worker 0
+	owner, reader := c.Workers[0], c.Workers[1]
+	owner.SetDown()
+	e.At(50, func() { owner.SetUp() })
+	var done float64
+	e.Go("reader", func(p *sim.Proc) {
+		sys.Read(p, reader, f)
+		done = p.Now()
+	})
+	e.Run()
+	if done < 50 {
+		t.Errorf("read of down-owner data finished at %.1f, before recovery at 50", done)
+	}
+}
+
+// TestPVFSStripedReadBlocksOnAnyServer: PVFS fans every read over all
+// stripe servers, so one down node stalls the whole file.
+func TestPVFSStripedReadBlocksOnAnyServer(t *testing.T) {
+	e, c, sys := deployOutage(t, "pvfs")
+	f := &workflow.File{Name: "striped", Size: 10 * units.MB} // spans both workers
+	sys.PreStage([]*workflow.File{f})
+	c.Workers[1].SetDown()
+	e.At(30, func() { c.Workers[1].SetUp() })
+	var done float64
+	e.Go("reader", func(p *sim.Proc) {
+		sys.Read(p, c.Workers[0], f)
+		done = p.Now()
+	})
+	e.Run()
+	if done < 30 {
+		t.Errorf("striped read finished at %.1f with a stripe server down until 30", done)
+	}
+}
+
+// TestPageCacheLostOnOutage: an outage reboots the node, so its RAM page
+// cache must come back empty (a re-read pays the full cost again) while
+// S3's disk-backed whole-file cache survives.
+func TestPageCacheLostOnOutage(t *testing.T) {
+	e, c, sys := deployOutage(t, "gluster-nufa")
+	f := &workflow.File{Name: "hot", Size: 50 * units.MB}
+	sys.PreStage([]*workflow.File{f})
+	node := c.Workers[0]
+	var warm, cold float64
+	e.Go("reader", func(p *sim.Proc) {
+		sys.Read(p, node, f) // populate
+		start := p.Now()
+		sys.Read(p, node, f) // cached: near-free
+		warm = p.Now() - start
+		node.SetDown()
+		node.SetUp() // reboot: RAM gone, disk intact
+		start = p.Now()
+		sys.Read(p, node, f)
+		cold = p.Now() - start
+	})
+	e.Run()
+	if cold <= warm {
+		t.Errorf("post-outage re-read took %.4f s, cached read %.4f s; page cache survived the reboot", cold, warm)
+	}
+}
+
 // rig bundles a small simulated deployment for storage tests.
 type rig struct {
 	e   *sim.Engine

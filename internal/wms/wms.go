@@ -10,9 +10,11 @@ import (
 	"fmt"
 
 	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/outage"
 	"ec2wfsim/internal/rng"
 	"ec2wfsim/internal/sim"
 	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/units"
 	"ec2wfsim/internal/workflow"
 )
 
@@ -30,6 +32,18 @@ const (
 	// DefaultFailureSeed seeds the injection RNG when Options.FailureSeed
 	// is zero, keeping failure runs deterministic by default.
 	DefaultFailureSeed = 0xFA11
+
+	// DefaultOutageDuration is the mean outage length (seconds) when
+	// Options.OutageRate is set without a duration: roughly an EC2
+	// instance reboot-and-recontextualize cycle.
+	DefaultOutageDuration = 120.0
+	// DefaultOutageSeed seeds the outage schedule when Options.OutageSeed
+	// is zero, keeping outage runs deterministic by default.
+	DefaultOutageSeed = 0xDEAD
+
+	// defaultCheckpointBytes sizes a checkpoint when the task declares no
+	// peak memory (a checkpoint dumps the task's resident state).
+	defaultCheckpointBytes = 64 * units.MB
 )
 
 // Options configures one workflow execution.
@@ -63,6 +77,27 @@ type Options struct {
 	MaxRetries int
 	// FailureSeed makes injection deterministic; zero uses a fixed seed.
 	FailureSeed uint64
+
+	// OutageRate injects correlated node outages at the given expected
+	// rate per node per hour: the whole node drops offline (spot
+	// reclamation, hardware retirement), its in-flight attempts are
+	// killed and re-queued, its slots stop requesting work, and data it
+	// owns is unreadable until it recovers. Zero disables outages.
+	OutageRate float64
+	// OutageDuration is the mean outage length in seconds; zero means
+	// DefaultOutageDuration. Only meaningful when OutageRate > 0.
+	OutageDuration float64
+	// OutageSeed makes the outage schedule deterministic; zero uses a
+	// fixed seed.
+	OutageSeed uint64
+
+	// CheckpointInterval makes tasks write a checkpoint (sized by their
+	// peak memory) through the storage system every interval seconds of
+	// computation, and lets a re-queued attempt resume from its last
+	// checkpoint instead of from zero. Checkpoint traffic competes for
+	// the same storage bandwidth the workflow's own I/O uses. Zero (the
+	// paper's setting) disables checkpointing.
+	CheckpointInterval float64
 }
 
 // Span records one task attempt for traces and utilization analysis.
@@ -75,7 +110,7 @@ type Span struct {
 	Start    float64 // slot picked the job up
 	Exec     float64 // inputs staged, computation began
 	WriteEnd float64 // outputs published (task complete), or abort time
-	Failed   bool    // attempt was killed by failure injection
+	Failed   bool    // attempt was killed by failure injection or an outage
 }
 
 // Result summarizes one workflow execution.
@@ -90,9 +125,20 @@ type Result struct {
 	MemoryWaits int64
 	// Failures counts injected task failures that were retried.
 	Failures int64
-	// Retries counts re-executions (equals Failures when all retries
-	// succeed).
+	// Retries counts re-executions (injected failures plus outage kills).
 	Retries int64
+
+	// Outages counts node outages that began before the workflow
+	// completed; OutageKills counts task attempts they killed.
+	Outages     int64
+	OutageKills int64
+	// LostWorkSeconds sums slot time burned by failed attempts that no
+	// checkpoint preserved (occupied-slot seconds minus durable progress).
+	LostWorkSeconds float64
+	// Checkpoints and CheckpointBytes count checkpoint writes and their
+	// staged bytes (restore reads are not included in the byte count).
+	Checkpoints     int64
+	CheckpointBytes float64
 }
 
 // Completed counts successful task executions (spans not flagged
@@ -138,6 +184,12 @@ func Run(e *sim.Engine, opts Options, w *workflow.Workflow) (*Result, error) {
 	if opts.StartLatency == 0 {
 		opts.StartLatency = DefaultStartLatency
 	}
+	if opts.CheckpointInterval < 0 {
+		return nil, fmt.Errorf("wms: negative checkpoint interval %g", opts.CheckpointInterval)
+	}
+	if opts.OutageRate < 0 {
+		return nil, fmt.Errorf("wms: negative outage rate %g", opts.OutageRate)
+	}
 	// Check every task can ever run: memory demand must fit some node.
 	if !opts.SkipMemoryLimit {
 		for _, t := range w.Tasks {
@@ -180,6 +232,26 @@ func Run(e *sim.Engine, opts Options, w *workflow.Workflow) (*Result, error) {
 		}
 		run.attempts = make(map[*workflow.Task]int)
 	}
+	if opts.OutageRate > 0 {
+		dur := opts.OutageDuration
+		if dur == 0 {
+			dur = DefaultOutageDuration
+		}
+		seed := opts.OutageSeed
+		if seed == 0 {
+			seed = DefaultOutageSeed
+		}
+		sched, err := outage.New(outage.Config{Rate: opts.OutageRate, Duration: dur, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("wms: %w", err)
+		}
+		run.outages = sched
+		run.running = make(map[*cluster.Node][]*attempt)
+	}
+	if opts.CheckpointInterval > 0 || run.outages != nil {
+		run.progress = make(map[*workflow.Task]float64)
+		run.ckptFiles = make(map[*workflow.Task]*workflow.File)
+	}
 	if opts.DataAware {
 		run.disp = newDataAwareDispatcher(e, opts.Storage)
 	} else {
@@ -207,6 +279,33 @@ type execution struct {
 	failRand   *rng.RNG
 	maxRetries int
 	attempts   map[*workflow.Task]int
+
+	// Correlated outages (nil outages disables them). Per-node daemons
+	// walk the deterministic schedule; running tracks in-flight attempts
+	// per node (slice, not map: kill order must be deterministic) so an
+	// outage can kill them.
+	outages *outage.Schedule
+	running map[*cluster.Node][]*attempt
+	stopped bool
+
+	// Checkpoint/restart (nil maps disable it; allocated whenever
+	// checkpointing or outages are on, since both need restart
+	// bookkeeping). progress is the durable fraction of each task's
+	// computation; ckptFiles interns one synthetic checkpoint file per
+	// task, overwritten in place by successive checkpoints.
+	progress  map[*workflow.Task]float64
+	ckptFiles map[*workflow.Task]*workflow.File
+}
+
+// attempt is the kill handle for one in-flight task attempt: an outage
+// on its node sets killed, and interrupts the attempt immediately when
+// it is inside an interruptible compute sleep (timer armed). Attempts
+// suspended elsewhere (mid-transfer, in admission queues) notice the
+// flag cooperatively at their next phase boundary.
+type attempt struct {
+	p      *sim.Proc
+	killed bool
+	timer  *sim.Timer // non-nil while inside sleepAttempt
 }
 
 // execute wires up DAGMan and the slots, then drives the engine to
@@ -245,7 +344,44 @@ func (x *execution) execute() {
 					if j == nil {
 						return
 					}
+					if x.outages != nil && node.Down() {
+						// A dead startd matches no jobs: hand the job back
+						// for a live node and wait out the outage.
+						x.disp.submit(j)
+						node.WaitUp(p)
+						continue
+					}
 					x.runJob(p, node, j)
+					if x.outages != nil && node.Down() {
+						// The attempt was killed mid-run; don't request
+						// more work until the node recovers.
+						node.WaitUp(p)
+					}
+				}
+			})
+		}
+	}
+
+	// Outage daemons: one per worker node, walking the node's
+	// deterministic outage stream. They stop re-arming once the workflow
+	// completes, so the event queue drains.
+	if x.outages != nil {
+		for i, node := range x.opts.Cluster.Workers {
+			i, node := i, node
+			x.e.GoDaemon(fmt.Sprintf("%s/outage", node.Name), func(p *sim.Proc) {
+				st := x.outages.Node(i)
+				for {
+					w := st.Next()
+					p.Sleep(w.Start - p.Now())
+					if x.stopped {
+						return
+					}
+					x.takeDown(node)
+					p.Sleep(w.End - p.Now())
+					node.SetUp()
+					if x.stopped {
+						return
+					}
 				}
 			})
 		}
@@ -256,6 +392,7 @@ func (x *execution) execute() {
 	x.e.Go("completion", func(p *sim.Proc) {
 		x.done.Wait(p)
 		x.result.Makespan = p.Now()
+		x.stopped = true
 		x.ready.Close()
 		x.disp.close()
 	})
@@ -263,11 +400,93 @@ func (x *execution) execute() {
 	x.e.Run()
 }
 
+// takeDown starts an outage on node: kill every in-flight attempt and
+// mark the node offline so its slots idle and its data is unreadable.
+func (x *execution) takeDown(node *cluster.Node) {
+	node.SetDown()
+	x.result.Outages++
+	for _, att := range x.running[node] {
+		att.killed = true
+		if att.timer != nil {
+			// Interrupt the compute sleep right now; attempts blocked in
+			// transfers or queues notice the flag at their next boundary.
+			att.timer.Stop()
+			att.timer = nil
+			att.p.Resume()
+		}
+	}
+}
+
+// register adds a kill handle for an attempt starting on node (nil when
+// outages are disabled — the zero-overhead default path).
+func (x *execution) register(p *sim.Proc, node *cluster.Node) *attempt {
+	if x.outages == nil {
+		return nil
+	}
+	att := &attempt{p: p}
+	x.running[node] = append(x.running[node], att)
+	return att
+}
+
+// unregister removes the attempt's kill handle.
+func (x *execution) unregister(node *cluster.Node, att *attempt) {
+	if att == nil {
+		return
+	}
+	list := x.running[node]
+	for i, a := range list {
+		if a == att {
+			x.running[node] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// sleepAttempt advances the attempt by d seconds of computation,
+// returning false when an outage killed it (the sleep ends at the kill
+// instant). With outages disabled it is exactly Proc.Sleep, keeping
+// outage-free runs bit-identical.
+func (x *execution) sleepAttempt(p *sim.Proc, att *attempt, d float64) bool {
+	if att == nil {
+		p.Sleep(d)
+		return true
+	}
+	if att.killed {
+		return false
+	}
+	finished := false
+	att.timer = x.e.After(d, func() {
+		finished = true
+		att.timer = nil
+		p.Resume()
+	})
+	p.Suspend()
+	att.timer = nil
+	return finished && !att.killed
+}
+
+// ckptFile interns the synthetic checkpoint file for t: one file per
+// task, overwritten by each successive checkpoint, sized by the task's
+// resident memory (what a checkpoint actually dumps).
+func (x *execution) ckptFile(t *workflow.Task) *workflow.File {
+	if f, ok := x.ckptFiles[t]; ok {
+		return f
+	}
+	size := t.PeakMemory
+	if size <= 0 {
+		size = defaultCheckpointBytes
+	}
+	f := &workflow.File{Name: "__ckpt__/" + t.ID, Size: size}
+	x.ckptFiles[t] = f
+	return f
+}
+
 // runJob executes one task on a slot: memory admission, input staging,
 // computation, output publication, then dependency release.
 func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 	t := j.task
 	span := Span{Task: t, Node: node.Name, Start: p.Now()}
+	att := x.register(p, node)
 
 	memMB := 0
 	if !x.opts.SkipMemoryLimit && t.PeakMemory > 0 {
@@ -278,37 +497,129 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		node.Memory.Acquire(p, memMB)
 	}
 
-	p.Sleep(x.opts.StartLatency)
-	for _, f := range t.Inputs {
-		x.opts.Storage.Read(p, node, f)
-	}
-	span.Exec = p.Now()
-
-	cpu := t.Runtime / node.Type.CPUFactor
-	if x.failRand != nil && x.attempts[t] < x.maxRetries &&
-		x.failRand.Float64() < x.opts.FailureRate {
-		// Transient failure: the attempt burns a random fraction of the
-		// computation, the slot is freed, and DAGMan re-queues the job.
-		// The aborted attempt still occupied the slot, so it is recorded
-		// as a failed span and charged to BusySeconds.
-		x.attempts[t]++
-		x.result.Failures++
-		x.result.Retries++
-		p.Sleep(cpu * x.failRand.Float64())
+	// abort records a failed attempt (injected failure or outage kill),
+	// frees the slot's memory and hands the task back to DAGMan. durable
+	// is the compute-seconds this attempt preserved via checkpoints;
+	// everything else the slot spent is lost work.
+	abort := func(durable float64) {
 		if memMB > 0 {
 			node.Memory.Release(memMB)
 		}
+		if att != nil && att.killed {
+			x.result.OutageKills++
+		}
 		span.WriteEnd = p.Now()
+		if span.Exec == 0 {
+			// Killed before computation began: the whole occupied window
+			// was staging (keeps trace phase accounting non-negative).
+			span.Exec = span.WriteEnd
+		}
 		span.Failed = true
 		x.result.Spans = append(x.result.Spans, span)
 		x.result.BusySeconds += span.WriteEnd - span.Start
+		x.result.LostWorkSeconds += (span.WriteEnd - span.Start) - durable
+		x.result.Retries++
+		x.unregister(node, att)
 		x.ready.Put(t)
+	}
+	killed := func() bool { return att != nil && att.killed }
+	if killed() {
+		// The node died while this attempt was queued for memory
+		// admission; nothing ran, nothing is lost.
+		abort(0)
 		return
 	}
-	p.Sleep(cpu)
+
+	p.Sleep(x.opts.StartLatency)
+	if killed() {
+		// The node died during slot activation: abort before staging so a
+		// dead node issues no storage traffic.
+		abort(0)
+		return
+	}
+	for _, f := range t.Inputs {
+		x.opts.Storage.Read(p, node, f)
+		if killed() {
+			abort(0)
+			return
+		}
+	}
+	full := t.Runtime / node.Type.CPUFactor
+	resume := 0.0
+	if x.progress != nil {
+		if frac := x.progress[t]; frac > 0 {
+			// Restore the last checkpoint before resuming: real staging
+			// traffic through the storage backend, like any input read.
+			x.opts.Storage.Read(p, node, x.ckptFile(t))
+			resume = frac * full
+			if killed() {
+				abort(0)
+				return
+			}
+		}
+	}
+	span.Exec = p.Now()
+
+	cpu := full - resume
+	failAt := -1.0
+	if x.failRand != nil && x.attempts[t] < x.maxRetries &&
+		x.failRand.Float64() < x.opts.FailureRate {
+		// Transient failure: the attempt dies a random fraction into its
+		// (remaining) computation, the slot is freed, and DAGMan
+		// re-queues the job. The aborted attempt still occupied the
+		// slot, so it is recorded as a failed span and charged to
+		// BusySeconds.
+		failAt = cpu * x.failRand.Float64()
+	}
+	ran := 0.0
+	durable := 0.0 // compute-seconds preserved by checkpoints this attempt
+	for {
+		chunk := cpu
+		if x.opts.CheckpointInterval > 0 && ran+x.opts.CheckpointInterval < cpu {
+			chunk = ran + x.opts.CheckpointInterval
+		}
+		if failAt >= 0 && failAt <= chunk {
+			if !x.sleepAttempt(p, att, failAt-ran) {
+				abort(durable)
+				return
+			}
+			x.attempts[t]++
+			x.result.Failures++
+			abort(durable)
+			return
+		}
+		if !x.sleepAttempt(p, att, chunk-ran) {
+			abort(durable)
+			return
+		}
+		ran = chunk
+		if ran >= cpu {
+			break
+		}
+		// Durable checkpoint: staged through the storage system, so the
+		// overhead competes with the workflow's own I/O. Progress is
+		// credited as soon as the write completes — even if the attempt
+		// was killed while writing, the bytes landed, so the retry may
+		// resume from them (otherwise lost work would double-count paid
+		// checkpoint overhead).
+		ck := x.ckptFile(t)
+		x.opts.Storage.Write(p, node, ck)
+		x.result.Checkpoints++
+		x.result.CheckpointBytes += ck.Size
+		x.progress[t] = (resume + ran) / full
+		durable = ran
+		if killed() {
+			abort(durable)
+			return
+		}
+	}
 
 	for _, f := range t.Outputs {
 		x.opts.Storage.Write(p, node, f)
+		if killed() {
+			abort(durable)
+			return
+		}
 	}
 	span.WriteEnd = p.Now()
 
@@ -318,6 +629,7 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 
 	x.result.Spans = append(x.result.Spans, span)
 	x.result.BusySeconds += span.WriteEnd - span.Start
+	x.unregister(node, att)
 
 	// DAGMan dependency release.
 	for _, c := range t.Children() {
