@@ -4,6 +4,13 @@
 // All experiment matrices dispatch through the concurrent sweep engine;
 // results are bit-for-bit identical at any parallelism.
 //
+// The scenario knobs (-failure-rate, -max-retries, -failure-seed,
+// -outage-rate, -outage-duration, -outage-seed, -checkpoint-interval)
+// are registered from the shared option table (internal/scenario), so
+// wfbench and wfsim stay in automatic parity; here they parameterize
+// the failure/outage studies. -spec runs a whole serialized experiment
+// (a wfsim -emit-spec file, or a hand-written grid) instead.
+//
 // Usage:
 //
 //	wfbench                      # everything
@@ -22,6 +29,7 @@
 //	wfbench -json grid.jsonl     # full grid as JSON lines ("-" = stdout)
 //	wfbench -seeds 5 -csv m.csv  # multi-seed replication with mean/stddev
 //	wfbench -progress            # per-cell progress on stderr
+//	wfbench -spec exp.json       # run a serialized experiment, JSON rows to stdout
 package main
 
 import (
@@ -35,10 +43,17 @@ import (
 	"strings"
 
 	"ec2wfsim/internal/harness"
+	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/sweep"
 )
 
 func main() {
+	// Scenario knob flags come from the shared option table (identity
+	// flags like -app/-storage/-nodes stay wfsim-only: wfbench sweeps
+	// those axes itself).
+	var spec scenario.Spec
+	scenario.RegisterFlags(flag.CommandLine, &spec, false)
+
 	fig := flag.Int("fig", 0, "regenerate one figure (2-7); 0 = all")
 	table1 := flag.Bool("table1", false, "regenerate Table I only")
 	diskTable := flag.Bool("disk", false, "print the Section III.C disk table only")
@@ -48,44 +63,53 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent experiment cells; 0 = all cores")
 	seeds := flag.Int("seeds", 1, "replicates per cell (±stddev error bars on figures, mean/stddev in -csv/-json exports)")
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
-	failureRate := flag.Float64("failure-rate", 0, "run the failure-sensitivity study at this injected per-attempt failure rate (vs the failure-free baseline)")
-	maxRetries := flag.Int("max-retries", 0, "failed attempts allowed per task in the failure study; 0 = DAGMan's default of 3")
-	outageRate := flag.Float64("outage-rate", 0, "run the outage-ablation study at this rate of node outages per node-hour (vs the outage-free baseline)")
-	outageDuration := flag.Float64("outage-duration", 0, "mean outage length in seconds for the outage study; 0 = the study default")
-	checkpointInterval := flag.Float64("checkpoint-interval", 0, "checkpoint cadence (seconds of computation) for the outage study's checkpointed arm; 0 = the study default")
+	specPath := flag.String("spec", "", "run the serialized experiment in this JSON file and print one JSON row per cell")
 	flag.Parse()
 
 	harness.SetParallel(*parallel)
-	if err := run(*fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress,
-		*failureRate, *maxRetries, *outageRate, *outageDuration, *checkpointInterval); err != nil {
+	if err := run(&spec, *specPath, *fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool,
-	failureRate float64, maxRetries int, outageRate, outageDuration, checkpointInterval float64) error {
+func run(spec *scenario.Spec, specPath string, fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
 	opt := harness.SweepOptions{Seeds: seeds}
 	if progress {
 		opt.Progress = printProgress
 	}
-	failureStudy := failureRate > 0 || ablation == "failures"
-	outageStudy := outageRate > 0 || ablation == "outages"
+	if specPath != "" {
+		// The spec file carries the whole experiment; every other mode
+		// or knob flag would fight it.
+		allowed := map[string]bool{"spec": true, "parallel": true, "progress": true}
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("-spec runs the whole experiment from the file; drop %s", strings.Join(conflicts, ", "))
+		}
+		return runSpec(specPath, opt)
+	}
+	failureStudy := spec.FailureRate > 0 || ablation == "failures"
+	outageStudy := spec.OutageRate > 0 || ablation == "outages"
 	if failureStudy && outageStudy {
 		return fmt.Errorf("the failure and outage studies run separately; pick one of -failure-rate/-ablation failures and -outage-rate/-ablation outages")
 	}
 	if (failureStudy || outageStudy) && (csvPath != "" || jsonPath != "" || table1 || diskTable || fig != 0 ||
-		((failureRate > 0 || outageRate > 0) && ablation != "")) {
+		((spec.FailureRate > 0 || spec.OutageRate > 0) && ablation != "")) {
 		return fmt.Errorf("the failure/outage studies run alone; drop -csv/-json/-table1/-disk/-ablation/-fig")
 	}
-	if maxRetries != 0 && !failureStudy {
-		return fmt.Errorf("-max-retries applies to the failure study; add -failure-rate or -ablation failures")
+	if (spec.MaxRetries != 0 || spec.FailureSeed != 0) && !failureStudy {
+		return fmt.Errorf("-max-retries and -failure-seed apply to the failure study; add -failure-rate or -ablation failures")
 	}
-	if outageRate < 0 || outageDuration < 0 || checkpointInterval < 0 {
+	if spec.OutageRate < 0 || spec.OutageDuration < 0 || spec.CheckpointInterval < 0 {
 		return fmt.Errorf("-outage-rate, -outage-duration and -checkpoint-interval must be non-negative")
 	}
-	if (outageDuration != 0 || checkpointInterval != 0) && !outageStudy {
-		return fmt.Errorf("-outage-duration and -checkpoint-interval apply to the outage study; add -outage-rate or -ablation outages")
+	if (spec.OutageDuration != 0 || spec.OutageSeed != 0 || spec.CheckpointInterval != 0) && !outageStudy {
+		return fmt.Errorf("-outage-duration, -outage-seed and -checkpoint-interval apply to the outage study; add -outage-rate or -ablation outages")
 	}
 	if seeds > 1 && (table1 || diskTable || (ablation != "" && ablation != "failures" && ablation != "outages")) {
 		// Table I, the disk table and the fixed-cell ablations render the
@@ -99,9 +123,13 @@ func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, se
 		// systems, paired against the failure-free baseline, error-barred
 		// when -seeds > 1. -failure-rate studies one rate; -ablation
 		// failures sweeps the canonical ladder.
-		o := harness.FailureStudyOptions{MaxRetries: maxRetries, Sweep: opt}
-		if failureRate > 0 {
-			o.Rates = []float64{failureRate}
+		o := harness.FailureStudyOptions{
+			MaxRetries:  spec.MaxRetries,
+			FailureSeed: spec.FailureSeed,
+			Sweep:       opt,
+		}
+		if spec.FailureRate > 0 {
+			o.Rates = []float64{spec.FailureRate}
 		}
 		_, out, err := harness.FailureStudy(o)
 		if err != nil {
@@ -115,12 +143,13 @@ func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, se
 		// baseline. -outage-rate studies one rate; -ablation outages
 		// sweeps the canonical ladder.
 		o := harness.OutageStudyOptions{
-			Duration:           outageDuration,
-			CheckpointInterval: checkpointInterval,
+			Duration:           spec.OutageDuration,
+			OutageSeed:         spec.OutageSeed,
+			CheckpointInterval: spec.CheckpointInterval,
 			Sweep:              opt,
 		}
-		if outageRate > 0 {
-			o.Rates = []float64{outageRate}
+		if spec.OutageRate > 0 {
+			o.Rates = []float64{spec.OutageRate}
 		}
 		_, out, err := harness.OutageStudy(o)
 		if err != nil {
@@ -177,6 +206,45 @@ func run(fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, se
 		fmt.Print(out)
 	}
 	return nil
+}
+
+// runSpec runs a serialized experiment — a single cell or a whole grid,
+// optionally replicated — and prints one indented JSON row per cell to
+// stdout in grid order. Single-measurement specs stream rows while the
+// sweep runs; specs with seeds > 1 print their aggregated
+// (mean/stddev) rows once every replicate has finished. A single-cell
+// spec reproduces the corresponding `wfsim -json` output byte for byte.
+func runSpec(path string, opt harness.SweepOptions) error {
+	e, err := scenario.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cells, err := e.Cells()
+	if err != nil {
+		return err
+	}
+	cfgs := make([]harness.RunConfig, len(cells))
+	for i, s := range cells {
+		cfgs[i] = harness.SpecConfig(s)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if e.Seeds > 1 {
+		opt.Seeds = e.Seeds
+		reps, err := harness.SweepSeeds(cfgs, opt)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reps {
+			if err := enc.Encode(rep.JSONRow()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return streamRows(cfgs, opt, func(r *harness.RunResult) error {
+		return enc.Encode(r.JSONRow())
+	})
 }
 
 // printProgress reports one completed cell on stderr.

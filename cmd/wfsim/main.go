@@ -3,6 +3,11 @@
 // counters — optionally with a Gantt chart of the execution, or
 // replicated across seeds for a mean/stddev confidence band.
 //
+// Every scenario flag is registered from the shared option table
+// (internal/scenario), so wfsim and wfbench stay in automatic parity;
+// -emit-spec serializes the configured run as a JSON experiment spec
+// and -spec runs one back.
+//
 // Usage:
 //
 //	wfsim -app montage -storage gluster-nufa -nodes 4
@@ -12,6 +17,9 @@
 //	wfsim -app broadband -storage s3 -nodes 4 -json
 //	wfsim -app montage -storage pvfs -nodes 4 -failure-rate 0.1 -max-retries 5
 //	wfsim -app montage -storage pvfs -nodes 4 -outage-rate 1 -checkpoint-interval 120
+//	wfsim -app montage -storage nfs -nodes 2 -worker-type m1.large
+//	wfsim -app montage -storage nfs -nodes 2 -emit-spec run.json
+//	wfsim -spec run.json -json
 package main
 
 import (
@@ -21,55 +29,62 @@ import (
 	"os"
 	"strings"
 
-	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/cluster"
 	"ec2wfsim/internal/harness"
-	"ec2wfsim/internal/storage"
+	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/trace"
 	"ec2wfsim/internal/units"
 )
 
 func main() {
-	app := flag.String("app", "montage", "application: "+strings.Join(apps.Names(), ", "))
-	sysName := flag.String("storage", "gluster-nufa", "storage system: "+strings.Join(storage.Names(), ", "))
-	nodes := flag.Int("nodes", 2, "number of c1.xlarge worker nodes")
-	dataAware := flag.Bool("data-aware", false, "use the locality-aware scheduler (paper future work)")
+	// Scenario flags come from the shared option table; the defaults are
+	// the paper's mid-scale GlusterFS cell.
+	spec := scenario.Spec{App: "montage", Storage: "gluster-nufa", Workers: 2}
+	scenario.RegisterFlags(flag.CommandLine, &spec, true)
+
 	gantt := flag.Bool("gantt", false, "print a per-node Gantt chart")
 	csvPath := flag.String("csv", "", "write the execution trace as CSV to this path")
-	seed := flag.Uint64("seed", harness.DefaultSeed, "provisioning jitter seed")
 	seeds := flag.Int("seeds", 1, "replicate the run across this many derived seeds and report mean/stddev")
 	parallel := flag.Int("parallel", 0, "max concurrent replicates; 0 = all cores")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
-	failureRate := flag.Float64("failure-rate", 0, "inject transient task failures with this per-attempt probability (0 = paper's failure-free setting)")
-	maxRetries := flag.Int("max-retries", 0, "failed attempts allowed per task; 0 = DAGMan's default of 3")
-	failureSeed := flag.Uint64("failure-seed", 0, "failure-injection RNG seed; 0 = fixed default")
-	outageRate := flag.Float64("outage-rate", 0, "inject correlated node outages at this rate per node-hour (0 = paper's outage-free setting)")
-	outageDuration := flag.Float64("outage-duration", 0, "mean outage length in seconds; 0 = the default of 120")
-	outageSeed := flag.Uint64("outage-seed", 0, "outage-schedule RNG seed; 0 = fixed default")
-	checkpointInterval := flag.Float64("checkpoint-interval", 0, "write a checkpoint every this many seconds of computation and resume killed tasks from it (0 = no checkpointing)")
+	specPath := flag.String("spec", "", "run the single-cell experiment spec in this JSON file (grids: wfbench -spec)")
+	emitSpec := flag.String("emit-spec", "", "write the configured run as a JSON experiment spec to this path (\"-\" = stdout) and exit")
 	flag.Parse()
 
-	cfg := harness.RunConfig{
-		App:                *app,
-		Storage:            *sysName,
-		Workers:            *nodes,
-		DataAware:          *dataAware,
-		Seed:               *seed,
-		FailureRate:        *failureRate,
-		MaxRetries:         *maxRetries,
-		FailureSeed:        *failureSeed,
-		OutageRate:         *outageRate,
-		OutageDuration:     *outageDuration,
-		OutageSeed:         *outageSeed,
-		CheckpointInterval: *checkpointInterval,
-	}
-	if err := run(cfg, *seeds, *parallel, *gantt, *csvPath, *jsonOut); err != nil {
+	if err := run(&spec, *specPath, *emitSpec, *seeds, *parallel, *gantt, *csvPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg harness.RunConfig, seeds, parallel int, gantt bool, csvPath string, jsonOut bool) error {
+func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, gantt bool, csvPath string, jsonOut bool) error {
+	if specPath != "" {
+		// The file is the whole scenario; scenario flags (and -seeds,
+		// which the spec carries) would silently fight it.
+		conflicting := append(scenario.FlagNames(true), "seeds")
+		if set := setFlags(conflicting); len(set) > 0 {
+			return fmt.Errorf("-spec carries the whole scenario; drop %s", strings.Join(set, ", "))
+		}
+		e, err := scenario.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		cells, err := e.Cells()
+		if err != nil {
+			return err
+		}
+		if len(cells) != 1 {
+			return fmt.Errorf("%s expands to %d cells; wfsim runs one (use wfbench -spec for grids)", specPath, len(cells))
+		}
+		*spec = cells[0]
+		if e.Seeds > 1 {
+			seeds = e.Seeds
+		}
+	}
+	if emitSpec != "" {
+		return writeSpec(*spec, seeds, emitSpec)
+	}
+	cfg := harness.SpecConfig(*spec)
 	if seeds > 1 {
 		if gantt || csvPath != "" {
 			return fmt.Errorf("-gantt and -csv trace a single execution; drop them or run without -seeds")
@@ -111,6 +126,58 @@ func run(cfg harness.RunConfig, seeds, parallel int, gantt bool, csvPath string,
 	return nil
 }
 
+// setFlags returns the names (dash-prefixed) of the given flags that
+// were explicitly set on the command line.
+func setFlags(names []string) []string {
+	watched := make(map[string]bool, len(names))
+	for _, n := range names {
+		watched[n] = true
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if watched[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+// writeSpec serializes the configured run as an experiment spec — the
+// round-trip counterpart of -spec, and the input of wfbench -spec.
+func writeSpec(spec scenario.Spec, seeds int, path string) error {
+	e := scenario.Experiment{Base: spec}
+	if seeds > 1 {
+		e.Seeds = seeds
+	}
+	if _, err := e.Cells(); err != nil {
+		return err // reject unknown names before they land in a file
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := e.Write(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote experiment spec to %s\n", path)
+	}
+	return nil
+}
+
+// workerLabel names the worker instance type of a run.
+func workerLabel(cfg harness.RunConfig) string {
+	if cfg.WorkerType != "" {
+		return cfg.WorkerType
+	}
+	return "c1.xlarge"
+}
+
 // runReplicated sweeps the same cell across derived seeds concurrently
 // and reports the spread — the confidence band the paper's single
 // measurements lack.
@@ -126,7 +193,7 @@ func runReplicated(cfg harness.RunConfig, seeds, parallel int, jsonOut bool) err
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep.JSONRow())
 	}
-	fmt.Printf("%s on %s, %d x c1.xlarge, %d seeds\n", cfg.App, cfg.Storage, cfg.Workers, seeds)
+	fmt.Printf("%s on %s, %d x %s, %d seeds\n", cfg.App, cfg.Storage, cfg.Workers, workerLabel(cfg), seeds)
 	fmt.Printf("  %-17s %.1f ± %.1f s  [%.1f, %.1f]\n", "makespan",
 		rep.Makespan.Mean, rep.Makespan.Stddev, rep.Makespan.Min, rep.Makespan.Max)
 	if cfg.FailureRate > 0 {
@@ -148,7 +215,7 @@ func runReplicated(cfg harness.RunConfig, seeds, parallel int, jsonOut bool) err
 func printResult(cfg harness.RunConfig, res *harness.RunResult) {
 	hour, sec := res.CostHour, res.CostSecond
 	st := res.Stats
-	fmt.Printf("%s on %s, %d x c1.xlarge", cfg.App, cfg.Storage, cfg.Workers)
+	fmt.Printf("%s on %s, %d x %s", cfg.App, cfg.Storage, cfg.Workers, workerLabel(cfg))
 	if extra := len(res.Cluster.Extra); extra > 0 {
 		fmt.Printf(" + %d service node(s)", extra)
 	}

@@ -1,6 +1,8 @@
 // Quickstart: simulate the paper's headline configuration — the Montage
 // astronomy workflow on a 4-node EC2 virtual cluster backed by GlusterFS —
-// and print what it costs.
+// print what it costs, then compose a harsher scenario on top of the same
+// cell with functional options: injected task failures, correlated node
+// outages and checkpoint/restart.
 package main
 
 import (
@@ -11,11 +13,12 @@ import (
 )
 
 func main() {
-	res, err := ec2wfsim.Run(ec2wfsim.Config{
+	base := ec2wfsim.Config{
 		Application: "montage",
 		Storage:     "gluster-nufa",
 		Workers:     4,
-	})
+	}
+	res, err := ec2wfsim.Run(base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,4 +28,26 @@ func main() {
 	fmt.Printf("  core util:       %.0f%%\n", res.Utilization*100)
 	fmt.Printf("  Amazon bill:     $%.2f (per-hour billing)\n", res.CostPerHour)
 	fmt.Printf("  per-second bill: $%.2f (the paper's hypothetical)\n", res.CostPerSecond)
+
+	// Same cell, harsher weather: 5% of task attempts fail, nodes drop
+	// offline about once per node-hour for ~2 minutes, and tasks
+	// checkpoint every 5 minutes of computation so retries resume
+	// instead of starting over. Each option folds into the memoization
+	// key, the replicate seeding and the serializable spec automatically.
+	harsh, err := ec2wfsim.Run(base,
+		ec2wfsim.WithFailures(0.05, 5),
+		ec2wfsim.WithOutages(1, 120),
+		ec2wfsim.WithCheckpointing(300),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSame cell with failures, outages and checkpointing\n")
+	fmt.Printf("  makespan:        %.0f s (%+.0f%% vs clean)\n", harsh.MakespanSeconds,
+		(harsh.MakespanSeconds/res.MakespanSeconds-1)*100)
+	fmt.Printf("  failures:        %d injected, %d retries total\n", harsh.Failures, harsh.Retries)
+	fmt.Printf("  outages:         %d (killed %d attempts, %.0f s of work lost)\n",
+		harsh.Outages, harsh.OutageKills, harsh.LostWorkSeconds)
+	fmt.Printf("  checkpoints:     %d written (%.0f MB staged)\n", harsh.Checkpoints, harsh.CheckpointBytes/1e6)
+	fmt.Printf("  Amazon bill:     $%.2f\n", harsh.CostPerHour)
 }

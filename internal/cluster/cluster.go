@@ -89,17 +89,38 @@ func M1Large() InstanceType {
 	}
 }
 
+// typeCatalog is the single name->constructor table behind TypeNames
+// and TypeByName, so the advertised names can never drift from the
+// resolvable ones. First entry is the default for the empty name.
+var typeCatalog = []struct {
+	name  string
+	build func() InstanceType
+}{
+	{"c1.xlarge", C1XLarge},
+	{"m1.xlarge", M1XLarge},
+	{"m1.large", M1Large},
+	{"m2.4xlarge", M24XLarge},
+}
+
+// TypeNames lists the catalog's instance-type names (empty selects the
+// c1.xlarge default).
+func TypeNames() []string {
+	names := make([]string, len(typeCatalog))
+	for i, t := range typeCatalog {
+		names[i] = t.name
+	}
+	return names
+}
+
 // TypeByName resolves a worker instance type by its EC2 name.
 func TypeByName(name string) (InstanceType, error) {
-	switch name {
-	case "", "c1.xlarge":
-		return C1XLarge(), nil
-	case "m1.xlarge":
-		return M1XLarge(), nil
-	case "m1.large":
-		return M1Large(), nil
-	case "m2.4xlarge":
-		return M24XLarge(), nil
+	if name == "" {
+		return typeCatalog[0].build(), nil
+	}
+	for _, t := range typeCatalog {
+		if t.name == name {
+			return t.build(), nil
+		}
 	}
 	return InstanceType{}, fmt.Errorf("cluster: unknown instance type %q", name)
 }

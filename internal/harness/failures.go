@@ -45,6 +45,9 @@ type FailureStudyOptions struct {
 	Rates []float64
 	// MaxRetries bounds failed attempts per task (0 = DAGMan's default).
 	MaxRetries int
+	// FailureSeed drives the injection RNG of every failing cell
+	// (0 = the fixed default). The rate-0 baselines ignore it.
+	FailureSeed uint64
 	// Apps and Storages override the study matrix.
 	Apps     []string
 	Storages []string
@@ -158,6 +161,9 @@ func FailureStudy(o FailureStudyOptions) ([]FailureCell, string, error) {
 					Workers:     o.Workers,
 					FailureRate: rate,
 					MaxRetries:  o.MaxRetries,
+				}
+				if rate > 0 {
+					cfg.FailureSeed = o.FailureSeed
 				}
 				if o.Build != nil {
 					w, err := o.Build(app)

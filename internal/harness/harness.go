@@ -10,6 +10,7 @@ import (
 	"ec2wfsim/internal/cost"
 	"ec2wfsim/internal/flow"
 	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/sim"
 	"ec2wfsim/internal/storage"
 	"ec2wfsim/internal/wms"
@@ -18,7 +19,7 @@ import (
 
 // DefaultSeed is the fixed provisioning-jitter seed used when a
 // RunConfig leaves Seed zero — the paper's single-measurement setting.
-const DefaultSeed uint64 = 0x5EED
+const DefaultSeed uint64 = scenario.DefaultSeed
 
 // RunConfig names one experiment cell.
 type RunConfig struct {
@@ -80,6 +81,52 @@ type RunConfig struct {
 	transient bool
 }
 
+// Spec projects the configuration onto its serializable scenario spec —
+// everything but the in-memory Workflow override and the transient
+// replicate marker.
+func (cfg RunConfig) Spec() scenario.Spec {
+	return scenario.Spec{
+		App:                cfg.App,
+		Storage:            cfg.Storage,
+		Workers:            cfg.Workers,
+		WorkerType:         cfg.WorkerType,
+		DataAware:          cfg.DataAware,
+		Seed:               cfg.Seed,
+		AppSeed:            cfg.AppSeed,
+		InitializeDisks:    cfg.InitializeDisks,
+		InitializeBytes:    cfg.InitializeBytes,
+		FailureRate:        cfg.FailureRate,
+		MaxRetries:         cfg.MaxRetries,
+		FailureSeed:        cfg.FailureSeed,
+		OutageRate:         cfg.OutageRate,
+		OutageDuration:     cfg.OutageDuration,
+		OutageSeed:         cfg.OutageSeed,
+		CheckpointInterval: cfg.CheckpointInterval,
+	}
+}
+
+// SpecConfig builds the RunConfig for a scenario spec.
+func SpecConfig(s scenario.Spec) RunConfig {
+	return RunConfig{
+		App:                s.App,
+		Storage:            s.Storage,
+		Workers:            s.Workers,
+		WorkerType:         s.WorkerType,
+		DataAware:          s.DataAware,
+		Seed:               s.Seed,
+		AppSeed:            s.AppSeed,
+		InitializeDisks:    s.InitializeDisks,
+		InitializeBytes:    s.InitializeBytes,
+		FailureRate:        s.FailureRate,
+		MaxRetries:         s.MaxRetries,
+		FailureSeed:        s.FailureSeed,
+		OutageRate:         s.OutageRate,
+		OutageDuration:     s.OutageDuration,
+		OutageSeed:         s.OutageSeed,
+		CheckpointInterval: s.CheckpointInterval,
+	}
+}
+
 // RunResult is one cell's outcome.
 type RunResult struct {
 	Config        RunConfig
@@ -131,15 +178,27 @@ func (r *RunResult) Completed() int {
 	return n
 }
 
-// Run executes one experiment cell at the requested scale.
+// Run executes one experiment cell at the requested scale. Catalog
+// names are validated up front, so an unknown application, storage
+// system or worker type — a typo in a spec file, say — fails with a
+// typed *scenario.UnknownNameError listing the valid names.
 func Run(cfg RunConfig) (*RunResult, error) {
 	w := cfg.Workflow
 	if w == nil {
+		if err := scenario.ValidateApp(cfg.App); err != nil {
+			return nil, err
+		}
 		var err error
 		w, err = apps.PaperScaleSeeded(cfg.App, cfg.AppSeed)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := scenario.ValidateStorage(cfg.Storage); err != nil {
+		return nil, err
+	}
+	if err := scenario.ValidateWorkerType(cfg.WorkerType); err != nil {
+		return nil, err
 	}
 	sys, err := storage.ByName(cfg.Storage)
 	if err != nil {

@@ -56,6 +56,9 @@ type OutageStudyOptions struct {
 	// CheckpointInterval overrides the checkpointed arm's cadence
 	// (0 = the study default). The no-checkpoint arm always runs at 0.
 	CheckpointInterval float64
+	// OutageSeed drives the outage schedule of every outage cell
+	// (0 = the fixed default). The rate-0 baselines ignore it.
+	OutageSeed uint64
 	// Apps and Storages override the study matrix.
 	Apps     []string
 	Storages []string
@@ -167,6 +170,7 @@ func OutageStudy(o OutageStudyOptions) ([]OutageCell, string, error) {
 					}
 					if rate > 0 {
 						cfg.OutageDuration = o.Duration
+						cfg.OutageSeed = o.OutageSeed
 					}
 					if o.Build != nil {
 						w, err := o.Build(app)

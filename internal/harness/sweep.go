@@ -1,14 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"ec2wfsim/internal/apps"
-	"ec2wfsim/internal/rng"
+	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/sweep"
-	"ec2wfsim/internal/wms"
 	"ec2wfsim/internal/workflow"
 )
 
@@ -61,6 +61,10 @@ type SweepOptions struct {
 	NoMemo bool
 	// Progress, if set, is called per completed cell in completion order.
 	Progress func(sweep.Update[RunConfig, *RunResult])
+	// Ctx, if set, cancels the sweep: no new cell starts once it is
+	// done, in-flight cells finish and report to Progress, and Sweep
+	// returns Ctx.Err(). Nil means never canceled.
+	Ctx context.Context
 }
 
 func (o SweepOptions) parallel() int {
@@ -70,91 +74,35 @@ func (o SweepOptions) parallel() int {
 	return defaultParallel()
 }
 
-// CellKey canonically names a configuration for memoization: defaults
-// are normalized so that an explicit c1.xlarge or seed 0x5EED hits the
-// same cache entry as the zero value. Failure-injection and
-// outage/checkpoint fields are part of the key (cells at different
-// rates or intervals are different experiments), but fields wms ignores
-// are normalized away: MaxRetries and FailureSeed at FailureRate 0,
-// OutageDuration and OutageSeed at OutageRate 0. Configurations
-// carrying a custom Workflow are not memoizable (the DAG isn't part of
-// the key) and return "".
+// CellKey canonically names a configuration for memoization: each
+// scenario option group renders its own normalized key segment (see
+// scenario.Key), so an explicit c1.xlarge or seed 0x5EED hits the same
+// cache entry as the zero value, and fields wms ignores — MaxRetries
+// and FailureSeed at FailureRate 0, OutageDuration and OutageSeed at
+// OutageRate 0 — are normalized away. Configurations carrying a custom
+// Workflow are not memoizable (the DAG isn't part of the key) and
+// return "".
 func CellKey(cfg RunConfig) string {
 	if cfg.Workflow != nil || cfg.transient {
 		return ""
 	}
-	wt := cfg.WorkerType
-	if wt == "" {
-		wt = "c1.xlarge"
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = DefaultSeed
-	}
-	var retries int
-	var failSeed uint64
-	if cfg.FailureRate > 0 {
-		retries = cfg.MaxRetries
-		if retries == 0 {
-			retries = wms.DefaultMaxRetries
-		}
-		failSeed = cfg.FailureSeed
-		if failSeed == 0 {
-			failSeed = wms.DefaultFailureSeed
-		}
-	}
-	var outDur float64
-	var outSeed uint64
-	if cfg.OutageRate > 0 {
-		outDur = cfg.OutageDuration
-		if outDur == 0 {
-			outDur = wms.DefaultOutageDuration
-		}
-		outSeed = cfg.OutageSeed
-		if outSeed == 0 {
-			outSeed = wms.DefaultOutageSeed
-		}
-	}
-	return fmt.Sprintf("%s|%s|n=%d|%s|seed=%d|appseed=%d|aware=%t|init=%t:%g|fail=%g:%d:%d|out=%g:%g:%d|ckpt=%g",
-		cfg.App, cfg.Storage, cfg.Workers, wt, seed, cfg.AppSeed, cfg.DataAware,
-		cfg.InitializeDisks, cfg.InitializeBytes, cfg.FailureRate, retries, failSeed,
-		cfg.OutageRate, outDur, outSeed, cfg.CheckpointInterval)
+	spec := cfg.Spec()
+	return scenario.Key(&spec)
 }
-
-// failureSeedSalt decorrelates a replicate's failure-injection RNG from
-// its provisioning RNG (both otherwise derive from the same CellSeed).
-const failureSeedSalt uint64 = 0xFA11AB1E
-
-// outageSeedSalt likewise decorrelates a replicate's outage schedule
-// from its provisioning and failure streams.
-const outageSeedSalt uint64 = 0x0D07A6E5
 
 // CellSeed derives the RNG seed for one replicate of a cell. Replicate 0
 // is the cell's own seed (the paper's fixed default when unset), so
 // single-seed results are the first replicate of any multi-seed study;
 // higher replicates hash the configuration so each cell's seed sequence
 // depends only on its config, never on scheduling or position in the
-// batch. The hash key deliberately excludes the failure-injection,
-// outage and checkpoint fields: replicate r of a failure or outage cell
-// shares its jitter seeds with replicate r of the failure-free
-// baseline, so overhead comparisons are paired rather than confounded
-// by provisioning spread.
+// batch. The hash (scenario.PairKey) deliberately excludes the
+// failure-injection, outage and checkpoint fields: replicate r of a
+// failure or outage cell shares its jitter seeds with replicate r of
+// the failure-free baseline, so overhead comparisons are paired rather
+// than confounded by provisioning spread.
 func CellSeed(cfg RunConfig, replicate int) uint64 {
-	base := cfg.Seed
-	if base == 0 {
-		base = DefaultSeed
-	}
-	if replicate == 0 {
-		return base
-	}
-	key := fmt.Sprintf("%s|%s|%d|%s|%t|%t", cfg.App, cfg.Storage, cfg.Workers,
-		cfg.WorkerType, cfg.DataAware, cfg.InitializeDisks)
-	r := rng.New((rng.HashString(key) ^ base) + uint64(replicate))
-	s := r.Uint64()
-	if s == 0 { // zero means "default" to Run; avoid colliding with it
-		s = 1
-	}
-	return s
+	spec := cfg.Spec()
+	return scenario.ReplicateSeed(&spec, replicate)
 }
 
 // paperWorkflow returns the shared paper-scale DAG for an application
@@ -195,7 +143,9 @@ func runCell(cfg RunConfig) (*RunResult, error) {
 // Sweep runs a batch of cells concurrently and returns results in input
 // order, bit-for-bit identical at any parallelism. Cells already in the
 // process-wide cache are not re-run; every returned result is a private
-// copy, safe for the caller to mutate.
+// copy, safe for the caller to mutate. With opt.Ctx set, cancellation
+// stops the sweep promptly: completed cells still reach opt.Progress,
+// and Sweep returns the context's error.
 func Sweep(cfgs []RunConfig, opt SweepOptions) ([]*RunResult, error) {
 	eng := &sweep.Engine[RunConfig, *RunResult]{
 		Run:      runCell,
@@ -206,7 +156,11 @@ func Sweep(cfgs []RunConfig, opt SweepOptions) ([]*RunResult, error) {
 	if !opt.NoMemo {
 		eng.Memo = cellMemo
 	}
-	results, err := eng.Map(cfgs)
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, err := eng.MapCtx(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -263,26 +217,21 @@ func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
 		for rep := 0; rep < seeds; rep++ {
 			c := cfg
 			if rep > 0 {
-				// One derived value drives both jitter sources, so a
-				// replicate varies provisioning and task runtimes
-				// together. Replicate 0 keeps the cell's own seeds —
-				// the paper's numbers lead every replication study.
-				s := CellSeed(cfg, rep)
-				c.Seed = s
-				if c.Workflow == nil {
-					c.AppSeed = s
-				}
-				if c.FailureRate > 0 {
-					// Failure injection replicates too; salting keeps the
-					// failure stream decorrelated from the provisioning
-					// stream that also starts from s.
-					c.FailureSeed = s ^ failureSeedSalt
-				}
-				if c.OutageRate > 0 {
-					// The outage schedule replicates with its own salt so
-					// a replicate's outages differ from both its jitter
-					// and its failure stream.
-					c.OutageSeed = s ^ outageSeedSalt
+				// One derived value drives every active seed field
+				// (scenario.Reseed): provisioning and task-runtime
+				// jitter always vary together, and the failure and
+				// outage streams replicate with their own salts when
+				// their rates are non-zero. Replicate 0 keeps the
+				// cell's own seeds — the paper's numbers lead every
+				// replication study.
+				spec := cfg.Spec()
+				scenario.Reseed(&spec, CellSeed(cfg, rep))
+				c = SpecConfig(spec)
+				c.Workflow = cfg.Workflow
+				if cfg.Workflow != nil {
+					// A custom DAG carries its own jitter; AppSeed only
+					// replicates for the generated paper apps.
+					c.AppSeed = cfg.AppSeed
 				}
 				c.transient = true
 			}

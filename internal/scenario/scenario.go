@@ -1,0 +1,144 @@
+// Package scenario is the composable experiment-description layer: one
+// serializable Spec names everything a single simulation run can vary
+// (application, storage, cluster shape, seeds, failure injection, node
+// outages, checkpointing), and a registry of self-describing option
+// groups declares — once, per group — how those fields appear in the
+// canonical memoization key, which of them participate in the
+// seed-pairing hash, how replicates reseed them, which CLI flags they
+// register, and which sweep axes they expose.
+//
+// The harness, the public facade and both CLIs are all thin views over
+// this package: harness.CellKey/CellSeed/SweepSeeds delegate to
+// Key/ReplicateSeed/Reseed, the facade's functional options mutate a
+// Spec, and wfbench/wfsim register their scenario flags from the same
+// group table, so a new scenario knob added here is automatically
+// memoized, replicated, flag-exposed and serializable everywhere.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/storage"
+)
+
+// DefaultSeed is the fixed provisioning-jitter seed used when a Spec
+// leaves Seed zero — the paper's single-measurement setting.
+const DefaultSeed uint64 = 0x5EED
+
+// Spec is one serializable experiment configuration: every scenario
+// field a run can vary, with zero values meaning "the paper's default".
+// It deliberately excludes the in-memory Workflow override — a Spec is
+// exactly the part of a configuration that can live in a JSON file.
+type Spec struct {
+	// App is "montage", "broadband" or "epigenome".
+	App string `json:"app,omitempty"`
+	// Storage is a storage.Names() entry.
+	Storage string `json:"storage,omitempty"`
+	// Workers is the worker-node count.
+	Workers int `json:"workers,omitempty"`
+	// WorkerType selects the worker instance type by EC2 name; empty
+	// means the paper's c1.xlarge.
+	WorkerType string `json:"worker_type,omitempty"`
+	// DataAware switches to the locality-aware scheduler.
+	DataAware bool `json:"data_aware,omitempty"`
+	// Seed varies provisioning jitter; 0 means the fixed default.
+	Seed uint64 `json:"seed,omitempty"`
+	// AppSeed varies the generated application's task-runtime jitter;
+	// 0 keeps the app's fixed paper seed.
+	AppSeed uint64 `json:"app_seed,omitempty"`
+	// InitializeDisks zero-fills ephemeral volumes first (ablation A-6).
+	InitializeDisks bool    `json:"initialize_disks,omitempty"`
+	InitializeBytes float64 `json:"initialize_bytes,omitempty"`
+
+	// FailureRate injects i.i.d. transient task failures with this
+	// per-attempt probability; MaxRetries and FailureSeed are ignored
+	// at rate 0.
+	FailureRate float64 `json:"failure_rate,omitempty"`
+	MaxRetries  int     `json:"max_retries,omitempty"`
+	FailureSeed uint64  `json:"failure_seed,omitempty"`
+
+	// OutageRate injects correlated node outages per node per hour;
+	// OutageDuration and OutageSeed are ignored at rate 0.
+	OutageRate     float64 `json:"outage_rate,omitempty"`
+	OutageDuration float64 `json:"outage_duration,omitempty"`
+	OutageSeed     uint64  `json:"outage_seed,omitempty"`
+
+	// CheckpointInterval makes tasks checkpoint every interval seconds
+	// of computation; 0 disables checkpointing.
+	CheckpointInterval float64 `json:"checkpoint_interval,omitempty"`
+}
+
+// UnknownNameError reports a name that does not resolve in one of the
+// scenario catalogs (application, storage system, worker type). It is
+// a typed error so spec-file loaders and API callers can detect a typo
+// programmatically; its message always lists the valid names.
+type UnknownNameError struct {
+	Kind  string   // "application", "storage system" or "worker type"
+	Name  string   // the unresolvable name
+	Valid []string // the catalog it was checked against
+}
+
+func (e *UnknownNameError) Error() string {
+	return fmt.Sprintf("scenario: unknown %s %q (valid: %s)",
+		e.Kind, e.Name, strings.Join(e.Valid, ", "))
+}
+
+// ValidateApp resolves an application name, returning an
+// *UnknownNameError naming the valid applications on failure.
+func ValidateApp(name string) error {
+	for _, n := range apps.Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return &UnknownNameError{Kind: "application", Name: name, Valid: apps.Names()}
+}
+
+// ValidateStorage resolves a storage-system name, returning an
+// *UnknownNameError naming the valid systems on failure.
+func ValidateStorage(name string) error {
+	for _, n := range storage.Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return &UnknownNameError{Kind: "storage system", Name: name, Valid: storage.Names()}
+}
+
+// ValidateWorkerType resolves a worker instance type; empty selects the
+// default and is always valid.
+func ValidateWorkerType(name string) error {
+	if _, err := cluster.TypeByName(name); err != nil {
+		return &UnknownNameError{Kind: "worker type", Name: name, Valid: cluster.TypeNames()}
+	}
+	return nil
+}
+
+// Validate checks every catalog-typed field of the spec, so a typo in a
+// spec file fails with the valid names before any simulation starts.
+// An empty App passes here — it means "the caller supplies a workflow",
+// and the harness rejects it with the same typed error when none is —
+// but a non-empty App must resolve.
+func (s *Spec) Validate() error {
+	if s.App != "" {
+		if err := ValidateApp(s.App); err != nil {
+			return err
+		}
+	}
+	if err := ValidateStorage(s.Storage); err != nil {
+		return err
+	}
+	if err := ValidateWorkerType(s.WorkerType); err != nil {
+		return err
+	}
+	if s.Workers <= 0 {
+		return fmt.Errorf("scenario: workers must be positive (got %d)", s.Workers)
+	}
+	if s.FailureRate < 0 || s.OutageRate < 0 || s.OutageDuration < 0 || s.CheckpointInterval < 0 {
+		return fmt.Errorf("scenario: rates, durations and intervals must be non-negative")
+	}
+	return nil
+}

@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,6 +60,16 @@ type Update[C, R any] struct {
 // one from the lowest-index failing cell, so error reporting is as
 // deterministic as the results themselves.
 func (e *Engine[C, R]) Map(cfgs []C) ([]R, error) {
+	return e.MapCtx(context.Background(), cfgs)
+}
+
+// MapCtx is Map with cancellation: once ctx is done no further cell
+// starts. Cells already running finish (a simulation is not
+// interruptible mid-run), their results are delivered to Progress as
+// usual, and every unstarted cell fails with ctx's error — which Map's
+// lowest-index rule then reports, so a canceled sweep returns promptly
+// with ctx.Err() unless an earlier cell failed on its own.
+func (e *Engine[C, R]) MapCtx(ctx context.Context, cfgs []C) ([]R, error) {
 	if e.Run == nil {
 		return nil, fmt.Errorf("sweep: Engine.Run is nil")
 	}
@@ -109,6 +120,10 @@ func (e *Engine[C, R]) Map(cfgs []C) ([]R, error) {
 
 	if workers <= 1 {
 		for i := range cfgs {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			runOne(i)
 		}
 	} else {
@@ -123,8 +138,25 @@ func (e *Engine[C, R]) Map(cfgs []C) ([]R, error) {
 				}
 			}()
 		}
+	feed:
 		for i := range cfgs {
-			jobs <- i
+			// Checked before the select: when a worker is free AND ctx is
+			// done, select would pick a case at random and could keep
+			// dispatching cells after cancellation.
+			if err := ctx.Err(); err != nil {
+				for j := i; j < len(cfgs); j++ {
+					errs[j] = err
+				}
+				break feed
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				for j := i; j < len(cfgs); j++ {
+					errs[j] = ctx.Err()
+				}
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -166,6 +167,68 @@ func TestProgressCountsEveryCell(t *testing.T) {
 		if u.Result != u.Config*u.Config {
 			t.Errorf("update %d: result %d for config %d", i, u.Result, u.Config)
 		}
+	}
+}
+
+func TestMapCtxCanceledUpFront(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	e := &Engine[int, int]{
+		Run: func(x int) (int, error) {
+			calls.Add(1)
+			return x, nil
+		},
+		Parallel: 4,
+	}
+	_, err := e.MapCtx(ctx, []int{1, 2, 3, 4, 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n > 4 {
+		t.Errorf("canceled sweep still ran %d cells", n)
+	}
+}
+
+func TestMapCtxStopsDispatchingMidSweep(t *testing.T) {
+	t.Parallel()
+	for _, parallel := range []int{1, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		var progressed atomic.Int64
+		e := &Engine[int, int]{
+			Run: func(x int) (int, error) {
+				if calls.Add(1) == 2 {
+					// Cancel from inside the sweep: everything not yet
+					// dispatched must be skipped.
+					cancel()
+				}
+				return x * x, nil
+			},
+			Parallel: parallel,
+			Progress: func(u Update[int, int]) { progressed.Add(1) },
+		}
+		cfgs := make([]int, 64)
+		for i := range cfgs {
+			cfgs[i] = i
+		}
+		results, err := e.MapCtx(ctx, cfgs)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%d: err = %v, want context.Canceled", parallel, err)
+		}
+		ran := calls.Load()
+		if ran >= int64(len(cfgs)) {
+			t.Errorf("parallel=%d: cancellation did not stop dispatch (%d cells ran)", parallel, ran)
+		}
+		if progressed.Load() != ran {
+			t.Errorf("parallel=%d: %d progress updates for %d completed cells", parallel, progressed.Load(), ran)
+		}
+		// Completed cells still returned their results.
+		if results[0] != 0 && results[1] != 1 && parallel == 1 {
+			t.Errorf("parallel=1: early results lost: %v", results[:2])
+		}
+		cancel()
 	}
 }
 
