@@ -229,6 +229,34 @@ func BenchmarkMaxMinFairness64Flows(b *testing.B) {
 	}
 }
 
+// BenchmarkStripedFanOut32 exercises the batched fan-out path the PVFS
+// backend uses at the scale study's largest size: every read registers
+// 32 shards under a single reallocation.
+func BenchmarkStripedFanOut32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		net := flow.NewNet(e)
+		disks := make([]*flow.Resource, 32)
+		for j := range disks {
+			disks[j] = flow.NewResource("disk", units.MBps(110))
+		}
+		for c := 0; c < 8; c++ {
+			e.Go("reader", func(p *sim.Proc) {
+				for k := 0; k < 4; k++ {
+					win := net.AcquireCap("win", units.MBps(25))
+					batch := net.NewBatch()
+					for _, d := range disks {
+						batch.Add(2*units.MB, win, d)
+					}
+					batch.Run(p)
+					net.ReleaseCap(win)
+				}
+			})
+		}
+		e.Run()
+	}
+}
+
 func BenchmarkMontageGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := apps.Montage(apps.MontageConfig{}); err != nil {

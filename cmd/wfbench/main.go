@@ -24,6 +24,7 @@
 //	wfbench -ablation outages    # correlated-outage study (rate ladder x checkpointing)
 //	wfbench -outage-rate 1 -seeds 5     # outage study at one rate, error-barred
 //	wfbench -outage-rate 1 -checkpoint-interval 60  # custom checkpoint cadence
+//	wfbench -ablation scale      # large-matrix study: cluster sizes {8,16,32}
 //	wfbench -parallel 8          # bound concurrent cells (default: all cores)
 //	wfbench -csv grid.csv        # full experiment grid as CSV
 //	wfbench -json grid.jsonl     # full grid as JSON lines ("-" = stdout)
@@ -111,7 +112,7 @@ func run(spec *scenario.Spec, specPath string, fig int, table1, diskTable bool, 
 	if (spec.OutageDuration != 0 || spec.OutageSeed != 0 || spec.CheckpointInterval != 0) && !outageStudy {
 		return fmt.Errorf("-outage-duration, -outage-seed and -checkpoint-interval apply to the outage study; add -outage-rate or -ablation outages")
 	}
-	if seeds > 1 && (table1 || diskTable || (ablation != "" && ablation != "failures" && ablation != "outages")) {
+	if seeds > 1 && (table1 || diskTable || (ablation != "" && ablation != "failures" && ablation != "outages" && ablation != "scale")) {
 		// Table I, the disk table and the fixed-cell ablations render the
 		// paper's single measurements; failing loudly beats silently
 		// printing unreplicated numbers under a -seeds flag.

@@ -76,6 +76,10 @@ type Disk struct {
 	read        *flow.Resource
 	write       *flow.Resource
 	initialized bool
+	// scratch is the resource-list buffer reused across Read/Write
+	// calls; safe because the flow network copies it into the transfer
+	// record before the calling process can park.
+	scratch []*flow.Resource
 
 	// Stats.
 	BytesRead    float64
@@ -117,7 +121,8 @@ func (d *Disk) Read(p *sim.Proc, size float64, extra ...*flow.Resource) {
 		return
 	}
 	d.BytesRead += size
-	d.net.Transfer(p, size, append([]*flow.Resource{d.read}, extra...)...)
+	d.scratch = append(append(d.scratch[:0], d.read), extra...)
+	d.net.Transfer(p, size, d.scratch...)
 }
 
 // Write performs a sequential write of size bytes at the current write
@@ -128,7 +133,8 @@ func (d *Disk) Write(p *sim.Proc, size float64, extra ...*flow.Resource) {
 	}
 	d.BytesWritten += size
 	d.used += size
-	d.net.Transfer(p, size, append([]*flow.Resource{d.write}, extra...)...)
+	d.scratch = append(append(d.scratch[:0], d.write), extra...)
+	d.net.Transfer(p, size, d.scratch...)
 }
 
 // MarkInitialized removes the first-write penalty without simulating the

@@ -11,13 +11,23 @@
 // sharing, and it is what makes "N clients hammering one NFS server" come
 // out N times slower, automatically.
 //
-// The network recomputes the allocation whenever a transfer starts or
-// finishes, so rates are piecewise constant and completions are exact.
+// Rates are recomputed whenever a transfer starts or finishes or a
+// capacity changes, so rates are piecewise constant and completions are
+// exact. The recomputation is incremental: the network maintains an
+// explicit transfer↔resource graph (see solver) and re-solves only the
+// connected component touched by an event, which keeps the per-event cost
+// proportional to the contended neighbourhood instead of the whole active
+// set. Transfer and Pending records, private rate-cap resources
+// (AcquireCap) and the per-event scratch all recycle through free lists,
+// so steady-state transfer churn performs no allocations.
+//
+// Fan-out I/O (one logical operation striping over many servers) should
+// register its shards through a Batch: all shards join the graph under a
+// single reallocation and complete through one shared handle, instead of
+// paying one full solve per shard.
 package flow
 
 import (
-	"fmt"
-
 	"ec2wfsim/internal/sim"
 )
 
@@ -35,14 +45,23 @@ type Resource struct {
 	name     string
 	capacity float64
 
-	// scratch state used during reallocation
-	epoch    int64
+	// members lists the active transfers crossing this resource, in
+	// start order — one side of the solver's bipartite graph. It is
+	// maintained incrementally by attach/detach.
+	members []*transfer
+
+	// solver scratch, epoch-guarded (see solver.solve).
+	visit    int64
 	residual float64
 	count    int
-	// flows lists the transfers crossing this resource, rebuilt (in
-	// active order) each reallocation so a bottleneck round visits only
-	// its own flows instead of scanning every unfixed transfer.
-	flows []*transfer
+	dirty    bool
+
+	// pooledCap marks resources minted by AcquireCap; pooled reports
+	// one currently sitting in the free list. ReleaseCap uses them to
+	// reject shared infrastructure resources and double releases, which
+	// would otherwise silently corrupt the cap pool.
+	pooledCap bool
+	pooled    bool
 
 	// current committed allocation, for utilization queries
 	load float64
@@ -52,7 +71,7 @@ type Resource struct {
 // Capacity must be positive: a zero-capacity resource would block forever.
 func NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("flow: resource %q with non-positive capacity %g", name, capacity))
+		panic(badArg("NewResource", "capacity", "resource %q with non-positive capacity %g", name, capacity))
 	}
 	return &Resource{name: name, capacity: capacity}
 }
@@ -69,26 +88,28 @@ func (r *Resource) Load() float64 { return r.load }
 // Utilization returns Load/Capacity in [0,1].
 func (r *Resource) Utilization() float64 { return r.load / r.capacity }
 
-// transfer is one in-flight bulk movement.
+// transfer is one in-flight bulk movement — a node of the solver's graph.
+// Records are recycled through the network's free list once complete.
 type transfer struct {
 	pending   *Pending
 	remaining float64
 	rate      float64
-	resources []*Resource
+	resources []*Resource // deduplicated, in caller order; owned, reused
 	fixed     bool
+	visit     int64
 	id        int64
 }
 
-// Pending is a handle to an asynchronous transfer started with
-// StartTransfer. Multiple processes may Wait on it; they all resume when
-// the transfer completes.
+// Pending is a handle to one or more asynchronous transfers started with
+// StartTransfer or a Batch. Multiple processes may Wait on it; they all
+// resume when every attached transfer completes.
 type Pending struct {
-	e       *sim.Engine
+	refs    int // attached transfers still in flight
 	done    bool
 	waiters []*sim.Proc
 }
 
-// Done reports whether the transfer has completed.
+// Done reports whether every attached transfer has completed.
 func (pd *Pending) Done() bool { return pd.done }
 
 // Wait blocks p until the transfer completes.
@@ -100,26 +121,39 @@ func (pd *Pending) Wait(p *sim.Proc) {
 	p.Suspend()
 }
 
+// complete records one attached transfer finishing; the handle resolves
+// (and its waiters resume) when the last one does.
 func (pd *Pending) complete() {
-	pd.done = true
-	for _, p := range pd.waiters {
-		p.Resume()
+	pd.refs--
+	if pd.refs > 0 {
+		return
 	}
-	pd.waiters = nil
+	pd.done = true
+	for i, p := range pd.waiters {
+		p.Resume()
+		pd.waiters[i] = nil
+	}
+	pd.waiters = pd.waiters[:0]
 }
 
 // Net manages the set of active transfers over a shared resource pool.
 type Net struct {
 	e          *sim.Engine
-	active     []*transfer
-	timer      *sim.Timer
+	active     []*transfer // in start order (solver relies on this)
+	timer      *sim.ReTimer
 	lastUpdate float64
-	epoch      int64
 	nextID     int64
+	sol        solver
 
-	// Reusable scratch for reallocate, to keep the hot path free of
-	// per-event allocations.
-	scratchRes []*Resource
+	// Free lists: steady-state churn recycles transfer and Pending
+	// records, batches, private rate caps and the onTimer scratch, so
+	// the hot path performs no allocations.
+	freeTransfers []*transfer
+	freePendings  []*Pending
+	freeBatches   []*Batch
+	freeCaps      []*Resource
+	doneScratch   []*transfer
+	capScratch    []*Resource
 
 	// Stats.
 	TotalBytes     float64
@@ -128,7 +162,9 @@ type Net struct {
 
 // NewNet returns an empty transfer network bound to the engine.
 func NewNet(e *sim.Engine) *Net {
-	return &Net{e: e}
+	n := &Net{e: e}
+	n.timer = e.NewReTimer(n.onTimer)
+	return n
 }
 
 // Active returns the number of in-flight transfers.
@@ -139,101 +175,180 @@ func (n *Net) Active() int { return len(n.active) }
 // first-write penalty disappearing) mid-simulation.
 func (n *Net) SetResourceCapacity(r *Resource, capacity float64) {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("flow: setting non-positive capacity %g on %q", capacity, r.name))
+		panic(badArg("SetResourceCapacity", "capacity", "setting non-positive capacity %g on %q", capacity, r.name))
 	}
 	n.advance()
 	r.capacity = capacity
-	if !n.uses(r) {
-		// An idle resource is skipped by reallocate (which only visits
+	if len(r.members) == 0 {
+		// An idle resource is skipped by the solver (which only visits
 		// resources of active flows), so a load left over from earlier
 		// traffic would survive the capacity change and Utilization()
 		// could report nonsense (> 1) on a drained resource.
 		r.load = 0
 	}
-	n.reallocate()
+	n.sol.markDirty(r)
+	n.sol.solve(n.active)
 	n.scheduleNext()
 }
 
-// uses reports whether any active transfer crosses r.
-func (n *Net) uses(r *Resource) bool {
-	for _, t := range n.active {
-		for _, tr := range t.resources {
-			if tr == r {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // Transfer moves size bytes across the given resources, blocking p until
-// the transfer completes. A transfer of zero (or negative) size returns
-// immediately. At least one resource is required.
+// the transfer completes. A transfer of zero size returns immediately; a
+// negative size or an empty resource list panics with *ArgumentError.
 func (n *Net) Transfer(p *sim.Proc, size float64, resources ...*Resource) {
-	if size <= 0 {
+	if size == 0 {
 		return
 	}
-	n.StartTransfer(size, resources...).Wait(p)
+	validateTransferArgs("Transfer", size, resources)
+	pd := n.start(size, resources)
+	pd.Wait(p)
+	n.releasePending(pd)
 }
 
 // StartTransfer begins moving size bytes across the given resources
 // without blocking, returning a handle the caller (or several callers) can
-// Wait on. It is the building block for striped I/O, where one logical
-// read fans out over every server in parallel.
+// Wait on. For fan-out I/O that starts many shards at once, prefer a
+// Batch: it registers every shard under a single reallocation.
 func (n *Net) StartTransfer(size float64, resources ...*Resource) *Pending {
-	pd := &Pending{e: n.e}
-	if size <= 0 {
+	if size == 0 {
+		pd := n.getPending()
 		pd.done = true
 		return pd
 	}
-	if len(resources) == 0 {
-		panic("flow: transfer with no resources")
-	}
-	// Deduplicate resources so a transfer that lists the same resource
-	// twice does not double-count itself during water-filling.
-	uniq := resources[:0:0]
+	validateTransferArgs("StartTransfer", size, resources)
+	return n.start(size, resources)
+}
+
+// start registers one validated transfer and re-solves its component.
+func (n *Net) start(size float64, resources []*Resource) *Pending {
+	pd := n.getPending()
+	t := n.stage(pd, size, resources)
+	n.advance()
+	n.attach(t)
+	n.sol.solve(n.active)
+	n.scheduleNext()
+	return pd
+}
+
+// stage builds a transfer record (deduplicating its resource list so a
+// transfer that lists the same resource twice does not double-count
+// itself during water-filling) and accounts it, without touching the
+// graph yet.
+func (n *Net) stage(pd *Pending, size float64, resources []*Resource) *transfer {
+	t := n.getTransfer()
 	for _, r := range resources {
-		if r == nil {
-			panic("flow: nil resource in transfer")
-		}
 		seen := false
-		for _, u := range uniq {
+		for _, u := range t.resources {
 			if u == r {
 				seen = true
 				break
 			}
 		}
 		if !seen {
-			uniq = append(uniq, r)
+			t.resources = append(t.resources, r)
 		}
 	}
 	n.nextID++
-	t := &transfer{pending: pd, remaining: size, resources: uniq, id: n.nextID}
+	t.id = n.nextID
+	t.pending = pd
+	t.remaining = size
+	pd.refs++
 	n.TotalBytes += size
 	n.TotalTransfers++
+	return t
+}
 
-	n.advance()
+// attach inserts t into the graph: the active list and every crossed
+// resource's membership list (both in start order), marking the touched
+// resources dirty for the next solve.
+func (n *Net) attach(t *transfer) {
 	n.active = append(n.active, t)
-	n.reallocate()
-	n.scheduleNext()
-	return pd
+	for _, r := range t.resources {
+		r.members = append(r.members, t)
+		n.sol.markDirty(r)
+	}
+}
+
+// detach removes a completed transfer from the graph, preserving member
+// order, clearing the committed loads of the resources it crossed (the
+// solver recomputes the ones that still carry traffic) and marking them
+// dirty.
+func (n *Net) detach(t *transfer) {
+	for _, r := range t.resources {
+		for i, m := range r.members {
+			if m == t {
+				copy(r.members[i:], r.members[i+1:])
+				r.members[len(r.members)-1] = nil
+				r.members = r.members[:len(r.members)-1]
+				break
+			}
+		}
+		r.load = 0
+		n.sol.markDirty(r)
+	}
 }
 
 // TransferCapped is Transfer with a per-flow rate ceiling, modeled as a
-// private resource (e.g. a single S3 connection cannot exceed ~25 MB/s
-// regardless of NIC headroom).
+// pooled private resource (e.g. a single S3 connection cannot exceed
+// ~25 MB/s regardless of NIC headroom).
 func (n *Net) TransferCapped(p *sim.Proc, size, maxRate float64, resources ...*Resource) {
-	if size <= 0 {
+	if size == 0 {
 		return
 	}
-	if maxRate <= 0 {
-		// Validate here rather than letting NewResource panic with an
-		// opaque internal "flowcap" message: the bug is in the caller's
-		// rate, so name it.
-		panic(fmt.Sprintf("flow: TransferCapped with non-positive max rate %g", maxRate))
+	if size < 0 {
+		panic(badArg("TransferCapped", "size", "negative transfer size %g", size))
 	}
-	cap := NewResource("flowcap", maxRate)
-	n.Transfer(p, size, append([]*Resource{cap}, resources...)...)
+	if maxRate <= 0 {
+		// Validate here rather than at cap construction: the bug is in
+		// the caller's rate, so name the caller.
+		panic(badArg("TransferCapped", "maxRate", "non-positive max rate %g", maxRate))
+	}
+	cap := n.AcquireCap("flowcap", maxRate)
+	// The scratch is only live until start() copies it into the transfer
+	// record, before p parks, so concurrent TransferCapped calls from
+	// other processes cannot clobber an in-use view.
+	n.capScratch = append(n.capScratch[:0], cap)
+	n.capScratch = append(n.capScratch, resources...)
+	n.Transfer(p, size, n.capScratch...)
+	n.ReleaseCap(cap)
+}
+
+// AcquireCap returns a private rate-limit resource from the network's
+// pool — the graph-API way to model per-connection or per-request-window
+// ceilings (one S3 connection, a PVFS client's request window) without
+// allocating a Resource per operation. Return it with ReleaseCap once the
+// transfers crossing it have completed.
+func (n *Net) AcquireCap(name string, rate float64) *Resource {
+	if rate <= 0 {
+		panic(badArg("AcquireCap", "rate", "non-positive cap rate %g", rate))
+	}
+	if k := len(n.freeCaps); k > 0 {
+		r := n.freeCaps[k-1]
+		n.freeCaps[k-1] = nil
+		n.freeCaps = n.freeCaps[:k-1]
+		r.name = name
+		r.capacity = rate
+		r.pooled = false
+		return r
+	}
+	r := NewResource(name, rate)
+	r.pooledCap = true
+	return r
+}
+
+// ReleaseCap returns an AcquireCap resource to the pool. The cap must be
+// idle (all transfers crossing it completed) and must not be used again.
+func (n *Net) ReleaseCap(r *Resource) {
+	if !r.pooledCap {
+		panic("flow: ReleaseCap of resource " + r.name + " that AcquireCap did not mint")
+	}
+	if r.pooled {
+		panic("flow: double ReleaseCap of resource " + r.name)
+	}
+	if len(r.members) > 0 {
+		panic("flow: ReleaseCap of resource " + r.name + " with active transfers")
+	}
+	r.pooled = true
+	n.freeCaps = append(n.freeCaps, r)
 }
 
 // advance integrates progress up to the current time.
@@ -252,91 +367,9 @@ func (n *Net) advance() {
 	}
 }
 
-// reallocate recomputes the max-min fair rate for every active transfer.
-//
-// The working sets shrink as water-filling progresses: each round walks
-// only the bottleneck resource's own flow list (skipping already-fixed
-// flows) instead of rescanning every active transfer, and resources
-// with no unfixed flows left are compacted out. Per-resource flow lists
-// are built in active order, so flows are fixed in exactly the order
-// the naive full rescan would fix them — the arithmetic, and therefore
-// every simulated timestamp, is bit-identical. This turns the per-event
-// cost from rounds x active into roughly the number of flow-resource
-// incidences, which is what makes wide fan-out systems like PVFS (every
-// read striped over all nodes) affordable at 8 nodes.
-func (n *Net) reallocate() {
-	n.epoch++
-	// Collect the resource set touched by active flows, resetting scratch
-	// state lazily via the epoch counter.
-	resources := n.scratchRes[:0]
-	for _, t := range n.active {
-		t.fixed = false
-		t.rate = 0
-		for _, r := range t.resources {
-			if r.epoch != n.epoch {
-				r.epoch = n.epoch
-				r.residual = r.capacity
-				r.count = 0
-				r.load = 0
-				r.flows = r.flows[:0]
-				resources = append(resources, r)
-			}
-			r.count++
-			r.flows = append(r.flows, t)
-		}
-	}
-	unfixed := len(n.active)
-	for unfixed > 0 {
-		// Find the bottleneck resource: minimum fair share among resources
-		// still serving unfixed flows.
-		var bottleneck *Resource
-		bestShare := 0.0
-		liveRes := resources[:0]
-		for _, r := range resources {
-			if r.count <= 0 {
-				continue
-			}
-			liveRes = append(liveRes, r)
-			share := r.residual / float64(r.count)
-			if bottleneck == nil || share < bestShare {
-				bottleneck = r
-				bestShare = share
-			}
-		}
-		resources = liveRes
-		if bottleneck == nil {
-			panic("flow: unfixed transfers with no remaining resources")
-		}
-		if bestShare < 0 {
-			bestShare = 0
-		}
-		// Fix every unfixed flow crossing the bottleneck at the fair share.
-		for _, t := range bottleneck.flows {
-			if t.fixed {
-				continue
-			}
-			t.rate = bestShare
-			t.fixed = true
-			unfixed--
-			for _, r := range t.resources {
-				r.residual -= bestShare
-				if r.residual < 0 {
-					r.residual = 0
-				}
-				r.count--
-				r.load += bestShare
-			}
-		}
-	}
-	n.scratchRes = resources[:0]
-}
-
 // scheduleNext arms the timer for the earliest completion.
 func (n *Net) scheduleNext() {
-	if n.timer != nil {
-		n.timer.Stop()
-		n.timer = nil
-	}
+	n.timer.Stop()
 	if len(n.active) == 0 {
 		return
 	}
@@ -360,15 +393,14 @@ func (n *Net) scheduleNext() {
 	if next < 0 {
 		panic("flow: all active transfers starved")
 	}
-	n.timer = n.e.After(next, n.onTimer)
+	n.timer.Arm(next)
 }
 
 // onTimer completes finished transfers and re-plans.
 func (n *Net) onTimer() {
-	n.timer = nil
 	n.advance()
 	remaining := n.active[:0]
-	var done []*transfer
+	done := n.doneScratch[:0]
 	for _, t := range n.active {
 		if t.remaining <= completionEps {
 			done = append(done, t)
@@ -377,22 +409,64 @@ func (n *Net) onTimer() {
 		}
 	}
 	n.active = remaining
-	// Clear the completed transfers' committed loads before re-planning:
-	// reallocate only visits resources of still-active flows, so a
-	// resource whose flows all just finished would otherwise keep its
-	// stale allocation forever — Load()/Utilization() reporting traffic
-	// on a drained resource. (Resources shared with surviving flows are
-	// recomputed from scratch by the reallocate below.)
 	for _, t := range done {
-		for _, r := range t.resources {
-			r.load = 0
-		}
+		n.detach(t)
 	}
 	for _, t := range done {
 		t.pending.complete()
 	}
-	if len(n.active) > 0 {
-		n.reallocate()
-		n.scheduleNext()
+	n.sol.solve(n.active)
+	n.scheduleNext()
+	for _, t := range done {
+		n.recycleTransfer(t)
 	}
+	n.doneScratch = done[:0]
+}
+
+// Free-list plumbing. Records are zeroed on recycle, not on reuse, so a
+// freshly popped record is always clean.
+
+func (n *Net) getTransfer() *transfer {
+	if k := len(n.freeTransfers); k > 0 {
+		t := n.freeTransfers[k-1]
+		n.freeTransfers[k-1] = nil
+		n.freeTransfers = n.freeTransfers[:k-1]
+		return t
+	}
+	return &transfer{}
+}
+
+func (n *Net) recycleTransfer(t *transfer) {
+	t.pending = nil
+	t.remaining = 0
+	t.rate = 0
+	t.fixed = false
+	for i := range t.resources {
+		t.resources[i] = nil
+	}
+	t.resources = t.resources[:0]
+	n.freeTransfers = append(n.freeTransfers, t)
+}
+
+func (n *Net) getPending() *Pending {
+	if k := len(n.freePendings); k > 0 {
+		pd := n.freePendings[k-1]
+		n.freePendings[k-1] = nil
+		n.freePendings = n.freePendings[:k-1]
+		return pd
+	}
+	return &Pending{}
+}
+
+// releasePending recycles a resolved handle. Only call sites that own the
+// handle exclusively (Transfer, Batch.Run) release; handles escaping via
+// StartTransfer are left to the garbage collector, so an external holder
+// can never observe a recycled Pending.
+func (n *Net) releasePending(pd *Pending) {
+	if !pd.done {
+		panic("flow: releasing incomplete Pending")
+	}
+	pd.done = false
+	pd.refs = 0
+	n.freePendings = append(n.freePendings, pd)
 }

@@ -395,3 +395,177 @@ func TestPropertyMakespanBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A batched fan-out must behave exactly like starting each shard
+// separately: two shards over separate disks, both limited by a shared
+// window cap.
+func TestBatchFanOutSharesWindowCap(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	d0 := NewResource("d0", 1000)
+	d1 := NewResource("d1", 1000)
+	var done float64
+	e.Go("striper", func(p *sim.Proc) {
+		win := n.AcquireCap("win", 50)
+		b := n.NewBatch()
+		b.Add(500, win, d0)
+		b.Add(500, win, d1)
+		b.Run(p)
+		n.ReleaseCap(win)
+		done = p.Now()
+	})
+	e.Run()
+	// The 50 B/s window is the bottleneck: each shard gets 25 B/s,
+	// 500 B each -> 20 s.
+	approx(t, done, 20, 1e-9, "window-capped fan-out")
+	if n.TotalTransfers != 2 || n.TotalBytes != 1000 {
+		t.Errorf("stats = (%d, %g), want (2, 1000)", n.TotalTransfers, n.TotalBytes)
+	}
+}
+
+// An empty batch (or one whose shards are all zero-size) completes
+// instantly.
+func TestBatchEmptyInstant(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	r := NewResource("link", 100)
+	var done float64 = -1
+	e.Go("t", func(p *sim.Proc) {
+		b := n.NewBatch()
+		b.Add(0, r)
+		b.Run(p)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Errorf("empty batch completed at %g, want 0", done)
+	}
+}
+
+// Boundary validation: negative sizes and empty resource lists are
+// rejected with a typed *ArgumentError naming the call and argument.
+func TestTransferArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		call     func(n *Net, p *sim.Proc, r *Resource)
+		wantCall string
+		wantArg  string
+	}{
+		{"negative size", func(n *Net, p *sim.Proc, r *Resource) { n.Transfer(p, -5, r) }, "Transfer", "size"},
+		{"no resources", func(n *Net, p *sim.Proc, r *Resource) { n.Transfer(p, 10) }, "Transfer", "resources"},
+		{"nil resource", func(n *Net, p *sim.Proc, r *Resource) { n.Transfer(p, 10, nil) }, "Transfer", "resources"},
+		{"start negative", func(n *Net, p *sim.Proc, r *Resource) { n.StartTransfer(-1, r) }, "StartTransfer", "size"},
+		{"start no resources", func(n *Net, p *sim.Proc, r *Resource) { n.StartTransfer(10) }, "StartTransfer", "resources"},
+		{"batch negative", func(n *Net, p *sim.Proc, r *Resource) { n.NewBatch().Add(-2, r) }, "Batch.Add", "size"},
+		{"capped negative size", func(n *Net, p *sim.Proc, r *Resource) { n.TransferCapped(p, -1, 10, r) }, "TransferCapped", "size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.NewEngine()
+			n := NewNet(e)
+			r := NewResource("link", 100)
+			e.Go("t", func(p *sim.Proc) {
+				defer func() {
+					ae, ok := recover().(*ArgumentError)
+					if !ok {
+						t.Errorf("want *ArgumentError panic, got %v", ae)
+						return
+					}
+					if ae.Call != tc.wantCall || ae.Arg != tc.wantArg {
+						t.Errorf("got (%q, %q), want (%q, %q)", ae.Call, ae.Arg, tc.wantCall, tc.wantArg)
+					}
+				}()
+				tc.call(n, p, r)
+			})
+			func() {
+				defer func() { recover() }() // swallow the engine's re-panic
+				e.Run()
+			}()
+		})
+	}
+}
+
+// Zero-size transfers remain a documented no-op (an empty file staged
+// through a storage backend), not an error.
+func TestZeroSizeNoResourcesStillInstant(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	var done float64 = -1
+	e.Go("t", func(p *sim.Proc) {
+		n.Transfer(p, 0)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Errorf("zero-size transfer completed at %g, want 0", done)
+	}
+}
+
+// AcquireCap recycles released cap resources instead of allocating.
+func TestAcquireCapRecycles(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	r := NewResource("link", 100)
+	e.Go("t", func(p *sim.Proc) {
+		c1 := n.AcquireCap("conn", 10)
+		n.Transfer(p, 100, c1, r)
+		n.ReleaseCap(c1)
+		c2 := n.AcquireCap("conn2", 20)
+		if c2 != c1 {
+			t.Error("released cap was not recycled")
+		}
+		if c2.Capacity() != 20 || c2.Name() != "conn2" {
+			t.Errorf("recycled cap = (%q, %g), want (conn2, 20)", c2.Name(), c2.Capacity())
+		}
+		if c2.Load() != 0 {
+			t.Errorf("recycled cap load = %g, want 0", c2.Load())
+		}
+		n.ReleaseCap(c2)
+	})
+	e.Run()
+}
+
+// Incremental rail: an event in one component must not disturb the rates
+// of transfers in a disjoint component (their completion times stay
+// exact), and a capacity change re-solves only its component.
+func TestDisjointComponentsSolveIndependently(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	a := NewResource("a", 100)
+	b := NewResource("b", 50)
+	var tA, tB float64
+	e.Go("a", func(p *sim.Proc) {
+		n.Transfer(p, 1000, a)
+		tA = p.Now()
+	})
+	e.Go("b", func(p *sim.Proc) {
+		p.Sleep(2)
+		n.Transfer(p, 500, b) // starts mid-flight of a, disjoint component
+		tB = p.Now()
+	})
+	e.At(4, func() { n.SetResourceCapacity(b, 100) })
+	e.Run()
+	approx(t, tA, 10, 1e-9, "component a undisturbed")
+	// b: 2s idle, 2s at 50 B/s (100 B), then 400 B at 100 B/s -> t=8.
+	approx(t, tB, 8, 1e-9, "component b re-solved on capacity change")
+}
+
+// ReleaseCap misuse fails loudly rather than corrupting the cap pool.
+func TestReleaseCapMisusePanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	shared := NewResource("nic", 100)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("foreign resource", func() { n.ReleaseCap(shared) })
+	c := n.AcquireCap("conn", 10)
+	n.ReleaseCap(c)
+	mustPanic("double release", func() { n.ReleaseCap(c) })
+}

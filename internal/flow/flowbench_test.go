@@ -1,0 +1,209 @@
+package flow
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"ec2wfsim/internal/sim"
+)
+
+// BenchmarkReallocate measures the incremental solver against the
+// preserved from-scratch oracle on the two transfer-graph shapes that
+// dominate the paper's experiments:
+//
+//   - pvfs: every logical read fans out over all servers' disks and NICs
+//     under a shared client window — one densely connected component,
+//     where the win comes from batching the fan-out (one solve per read
+//     instead of one per shard) and from the pooled records.
+//   - montage: many clients hammering one NFS server interleaved with
+//     node-local disk I/O — the local transfers form singleton components
+//     the dirty-set solver re-solves without touching the server clique.
+//
+// TestEmitFlowBench (-flowbench-out) records the comparison in
+// BENCH_flow.json so the performance trajectory has data points.
+
+// pvfsShape runs C clients each performing K sequential reads striped
+// over N servers (shards cross the shared window cap, the server disk,
+// the server NIC and the client NIC).
+func pvfsShape(build func(e *sim.Engine, caps []float64) flowDriver) float64 {
+	const (
+		nServers = 8
+		nClients = 12
+		nReads   = 5
+		fileSize = 64e6
+		winRate  = 25e6
+	)
+	var caps []float64
+	for i := 0; i < nServers; i++ {
+		caps = append(caps, 110e6) // server disk read channel
+	}
+	for i := 0; i < nServers; i++ {
+		caps = append(caps, 1000e6) // server NIC out
+	}
+	for i := 0; i < nClients; i++ {
+		caps = append(caps, 1000e6) // client NIC in
+	}
+	e := sim.NewEngine()
+	d := build(e, caps)
+	shards := make([][]int, nServers)
+	for c := 0; c < nClients; c++ {
+		c := c
+		e.Go("client", func(p *sim.Proc) {
+			p.Sleep(0.05 * float64(c)) // stagger arrivals
+			for k := 0; k < nReads; k++ {
+				for j := 0; j < nServers; j++ {
+					shards[j] = []int{j, nServers + j, 2*nServers + c}
+				}
+				d.fanout(p, fileSize/nServers, shards, winRate)
+			}
+		})
+	}
+	e.Run()
+	return e.Now()
+}
+
+// montageShape runs C clients alternating NFS-server reads (one shared
+// server egress resource) with node-local disk writes (per-client
+// singleton components).
+func montageShape(build func(e *sim.Engine, caps []float64) flowDriver) float64 {
+	const (
+		nClients = 12
+		nOps     = 10
+		readSize = 4e6
+		locSize  = 2e6
+	)
+	var caps []float64
+	caps = append(caps, 130e6) // NFS server egress
+	for i := 0; i < nClients; i++ {
+		caps = append(caps, 1000e6) // client NIC in
+	}
+	for i := 0; i < nClients; i++ {
+		caps = append(caps, 80e6) // client local disk write channel
+	}
+	e := sim.NewEngine()
+	d := build(e, caps)
+	for c := 0; c < nClients; c++ {
+		c := c
+		e.Go("client", func(p *sim.Proc) {
+			p.Sleep(0.02 * float64(c))
+			for k := 0; k < nOps; k++ {
+				d.transfer(p, readSize, []int{0, 1 + c})
+				d.transfer(p, locSize, []int{1 + nClients + c})
+			}
+		})
+	}
+	e.Run()
+	return e.Now()
+}
+
+var flowShapes = []struct {
+	name string
+	run  func(build func(e *sim.Engine, caps []float64) flowDriver) float64
+}{
+	{"pvfs", pvfsShape},
+	{"montage", montageShape},
+}
+
+func buildIncremental(e *sim.Engine, caps []float64) flowDriver { return newRealDriver(e, caps) }
+func buildOracle(e *sim.Engine, caps []float64) flowDriver      { return newOracleDriver(e, caps) }
+
+// TestShapesAgree pins the two implementations to the same makespans on
+// the benchmark shapes, so the speedup comparison is apples to apples.
+func TestShapesAgree(t *testing.T) {
+	for _, shape := range flowShapes {
+		inc := shape.run(buildIncremental)
+		orc := shape.run(buildOracle)
+		if inc != orc {
+			t.Errorf("%s: makespan diverged: incremental %v, oracle %v", shape.name, inc, orc)
+		}
+	}
+}
+
+func BenchmarkReallocate(b *testing.B) {
+	for _, shape := range flowShapes {
+		b.Run(shape.name+"/incremental", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shape.run(buildIncremental)
+			}
+		})
+		b.Run(shape.name+"/oracle", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shape.run(buildOracle)
+			}
+		})
+	}
+}
+
+var flowBenchOut = flag.String("flowbench-out", "",
+	"write BenchmarkReallocate incremental-vs-oracle results to this JSON file")
+
+// flowBenchRow is one shape's comparison in BENCH_flow.json.
+type flowBenchRow struct {
+	Shape              string  `json:"shape"`
+	IncrementalNsOp    int64   `json:"incremental_ns_op"`
+	OracleNsOp         int64   `json:"oracle_ns_op"`
+	Speedup            float64 `json:"speedup"`
+	IncrementalAllocs  int64   `json:"incremental_allocs_op"`
+	OracleAllocs       int64   `json:"oracle_allocs_op"`
+	IncrementalBytesOp int64   `json:"incremental_bytes_op"`
+	OracleBytesOp      int64   `json:"oracle_bytes_op"`
+}
+
+// TestEmitFlowBench runs the reallocation benchmarks and records the
+// comparison. It only runs when -flowbench-out is set:
+//
+//	go test -run TestEmitFlowBench -flowbench-out ../../BENCH_flow.json ./internal/flow
+func TestEmitFlowBench(t *testing.T) {
+	if *flowBenchOut == "" {
+		t.Skip("-flowbench-out not set")
+	}
+	out := struct {
+		Benchmark string         `json:"benchmark"`
+		Note      string         `json:"note"`
+		Rows      []flowBenchRow `json:"rows"`
+	}{
+		Benchmark: "BenchmarkReallocate",
+		Note:      "incremental dirty-set solver vs preserved from-scratch oracle; see internal/flow/flowbench_test.go",
+	}
+	for _, shape := range flowShapes {
+		inc := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shape.run(buildIncremental)
+			}
+		})
+		orc := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shape.run(buildOracle)
+			}
+		})
+		row := flowBenchRow{
+			Shape:              shape.name,
+			IncrementalNsOp:    inc.NsPerOp(),
+			OracleNsOp:         orc.NsPerOp(),
+			Speedup:            float64(orc.NsPerOp()) / float64(inc.NsPerOp()),
+			IncrementalAllocs:  inc.AllocsPerOp(),
+			OracleAllocs:       orc.AllocsPerOp(),
+			IncrementalBytesOp: inc.AllocedBytesPerOp(),
+			OracleBytesOp:      orc.AllocedBytesPerOp(),
+		}
+		out.Rows = append(out.Rows, row)
+		t.Logf("%s: incremental %d ns/op (%d allocs), oracle %d ns/op (%d allocs), speedup %.2fx",
+			row.Shape, row.IncrementalNsOp, row.IncrementalAllocs, row.OracleNsOp, row.OracleAllocs, row.Speedup)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flowBenchOut, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *flowBenchOut)
+}

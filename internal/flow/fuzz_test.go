@@ -1,0 +1,292 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+
+	"ec2wfsim/internal/sim"
+)
+
+// FuzzReallocate is the incremental solver's correctness rail: it decodes
+// a random event script (blocking transfers, batched fan-outs with pooled
+// window caps, capacity changes, load probes, all at fuzzed times over a
+// fuzzed resource set) and drives it through both the real Net and the
+// from-scratch oracle preserved in oracle_test.go. Every completion
+// timestamp, every probed load, the final clock and the byte totals must
+// match bit for bit — the same discipline the golden file enforces at
+// paper scale, exercised here over shapes the applications never form.
+
+// script is one decoded fuzz scenario.
+type script struct {
+	caps []float64 // initial resource capacities
+	ops  []scriptOp
+}
+
+type scriptOp struct {
+	at   float64
+	kind byte // 0 blocking transfer, 1 fan-out batch, 2 set capacity, 3 probe
+
+	size   float64 // transfer: total size; fan-out: per-shard size
+	res    []int   // transfer: resource indices
+	shards [][]int // fan-out: per-shard resource indices
+	capRt  float64 // fan-out: window cap rate (0 = none)
+
+	capIdx int     // set capacity: resource index
+	capVal float64 // set capacity: new capacity
+}
+
+// decodeScript turns fuzz bytes into a bounded, always-valid scenario.
+func decodeScript(data []byte) *script {
+	pos := 0
+	next := func() int {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return int(b)
+	}
+	nRes := next()%5 + 1
+	s := &script{}
+	for i := 0; i < nRes; i++ {
+		s.caps = append(s.caps, float64(next()%500+1))
+	}
+	subset := func() []int {
+		mask := next() % (1 << nRes)
+		if mask == 0 {
+			mask = 1
+		}
+		var idxs []int
+		for i := 0; i < nRes; i++ {
+			if mask&(1<<i) != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		return idxs
+	}
+	nOps := next()%32 + 1
+	at := 0.0
+	for i := 0; i < nOps; i++ {
+		at += float64(next()%64) / 8 // gaps of 0..7.875s; 0 keeps same-time races
+		op := scriptOp{at: at, kind: byte(next() % 4)}
+		switch op.kind {
+		case 0:
+			// Sizes reach down to 0.25 bytes — below completionEps — to
+			// exercise the instant-completion path on both sides.
+			op.size = float64(next()%4000)/4 + 0.25
+			op.res = subset()
+		case 1:
+			op.size = float64(next()%2000)/4 + 0.25
+			shards := next()%4 + 1
+			for j := 0; j < shards; j++ {
+				op.shards = append(op.shards, subset())
+			}
+			if next()%2 == 0 {
+				op.capRt = float64(next()%200 + 1)
+			}
+		case 2:
+			op.capIdx = next() % nRes
+			op.capVal = float64(next()%500 + 1)
+		}
+		s.ops = append(s.ops, op)
+	}
+	return s
+}
+
+// trace is everything a run observes; two runs compare traces bit-exactly.
+type trace struct {
+	completions []float64 // per transfer/fan-out op, completion time
+	probes      []float64 // per probe op, active count then per-resource loads
+	end         float64
+	totalBytes  float64
+	totalCount  int64
+}
+
+// flowDriver abstracts the two implementations behind one script runner.
+type flowDriver interface {
+	transfer(p *sim.Proc, size float64, res []int)
+	fanout(p *sim.Proc, size float64, shards [][]int, capRate float64)
+	setCapacity(idx int, c float64)
+	load(idx int) float64
+	activeCount() int
+	totals() (float64, int64)
+}
+
+type realDriver struct {
+	n  *Net
+	rs []*Resource
+}
+
+func newRealDriver(e *sim.Engine, caps []float64) *realDriver {
+	d := &realDriver{n: NewNet(e)}
+	for i, c := range caps {
+		d.rs = append(d.rs, NewResource(fmt.Sprintf("r%d", i), c))
+	}
+	return d
+}
+
+func (d *realDriver) pick(idxs []int) []*Resource {
+	rs := make([]*Resource, len(idxs))
+	for i, idx := range idxs {
+		rs[i] = d.rs[idx]
+	}
+	return rs
+}
+
+func (d *realDriver) transfer(p *sim.Proc, size float64, res []int) {
+	d.n.Transfer(p, size, d.pick(res)...)
+}
+
+func (d *realDriver) fanout(p *sim.Proc, size float64, shards [][]int, capRate float64) {
+	var cap *Resource
+	if capRate > 0 {
+		cap = d.n.AcquireCap("win", capRate)
+	}
+	b := d.n.NewBatch()
+	for _, sh := range shards {
+		var rs []*Resource
+		if cap != nil {
+			rs = append(rs, cap)
+		}
+		rs = append(rs, d.pick(sh)...)
+		b.Add(size, rs...)
+	}
+	b.Run(p)
+	if cap != nil {
+		d.n.ReleaseCap(cap)
+	}
+}
+
+func (d *realDriver) setCapacity(idx int, c float64) { d.n.SetResourceCapacity(d.rs[idx], c) }
+func (d *realDriver) load(idx int) float64           { return d.rs[idx].Load() }
+func (d *realDriver) activeCount() int               { return d.n.Active() }
+func (d *realDriver) totals() (float64, int64)       { return d.n.TotalBytes, d.n.TotalTransfers }
+
+type oracleDriver struct {
+	n  *oracleNet
+	rs []*oracleResource
+}
+
+func newOracleDriver(e *sim.Engine, caps []float64) *oracleDriver {
+	d := &oracleDriver{n: newOracleNet(e)}
+	for i, c := range caps {
+		d.rs = append(d.rs, newOracleResource(fmt.Sprintf("r%d", i), c))
+	}
+	return d
+}
+
+func (d *oracleDriver) pick(idxs []int) []*oracleResource {
+	rs := make([]*oracleResource, len(idxs))
+	for i, idx := range idxs {
+		rs[i] = d.rs[idx]
+	}
+	return rs
+}
+
+func (d *oracleDriver) transfer(p *sim.Proc, size float64, res []int) {
+	d.n.Transfer(p, size, d.pick(res)...)
+}
+
+// fanout reproduces the historical fan-out idiom: one StartTransfer per
+// shard (each paying a full reallocation), a private window-cap resource,
+// then waiting the shard handles in order.
+func (d *oracleDriver) fanout(p *sim.Proc, size float64, shards [][]int, capRate float64) {
+	var cap *oracleResource
+	if capRate > 0 {
+		cap = newOracleResource("win", capRate)
+	}
+	var pds []*oraclePending
+	for _, sh := range shards {
+		var rs []*oracleResource
+		if cap != nil {
+			rs = append(rs, cap)
+		}
+		rs = append(rs, d.pick(sh)...)
+		pds = append(pds, d.n.StartTransfer(size, rs...))
+	}
+	for _, pd := range pds {
+		pd.Wait(p)
+	}
+}
+
+func (d *oracleDriver) setCapacity(idx int, c float64) { d.n.SetResourceCapacity(d.rs[idx], c) }
+func (d *oracleDriver) load(idx int) float64           { return d.rs[idx].Load() }
+func (d *oracleDriver) activeCount() int               { return d.n.Active() }
+func (d *oracleDriver) totals() (float64, int64)       { return d.n.TotalBytes, d.n.TotalTransfers }
+
+// runScript schedules the whole scenario up front (so both runs assign
+// identical event sequence numbers to the script skeleton) and executes
+// it to completion.
+func runScript(s *script, build func(e *sim.Engine, caps []float64) flowDriver) *trace {
+	e := sim.NewEngine()
+	d := build(e, s.caps)
+	tr := &trace{completions: make([]float64, len(s.ops))}
+	for i := range tr.completions {
+		tr.completions[i] = -1
+	}
+	for i, op := range s.ops {
+		i, op := i, op
+		switch op.kind {
+		case 0:
+			e.At(op.at, func() {
+				e.Go("t", func(p *sim.Proc) {
+					d.transfer(p, op.size, op.res)
+					tr.completions[i] = p.Now()
+				})
+			})
+		case 1:
+			e.At(op.at, func() {
+				e.Go("f", func(p *sim.Proc) {
+					d.fanout(p, op.size, op.shards, op.capRt)
+					tr.completions[i] = p.Now()
+				})
+			})
+		case 2:
+			e.At(op.at, func() { d.setCapacity(op.capIdx, op.capVal) })
+		case 3:
+			e.At(op.at, func() {
+				tr.probes = append(tr.probes, float64(d.activeCount()))
+				for idx := range s.caps {
+					tr.probes = append(tr.probes, d.load(idx))
+				}
+			})
+		}
+	}
+	e.Run()
+	tr.end = e.Now()
+	tr.totalBytes, tr.totalCount = d.totals()
+	return tr
+}
+
+func FuzzReallocate(f *testing.F) {
+	f.Add([]byte{3, 10, 200, 50, 8, 0, 0, 1, 3, 0, 1, 2, 7, 100, 4, 2, 0, 40, 0, 3})
+	f.Add([]byte{2, 90, 90, 6, 0, 1, 80, 3, 3, 3, 1, 0, 2, 1, 7, 0, 3})
+	f.Add([]byte{5, 5, 255, 120, 60, 30, 12, 8, 1, 200, 2, 31, 31, 1, 99, 0, 0, 1, 3, 3, 2, 4, 250})
+	f.Add([]byte{1, 1, 4, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := decodeScript(data)
+		got := runScript(s, func(e *sim.Engine, caps []float64) flowDriver { return newRealDriver(e, caps) })
+		want := runScript(s, func(e *sim.Engine, caps []float64) flowDriver { return newOracleDriver(e, caps) })
+		if got.end != want.end {
+			t.Fatalf("makespan diverged: incremental %v, oracle %v", got.end, want.end)
+		}
+		if got.totalBytes != want.totalBytes || got.totalCount != want.totalCount {
+			t.Fatalf("totals diverged: incremental (%v, %d), oracle (%v, %d)",
+				got.totalBytes, got.totalCount, want.totalBytes, want.totalCount)
+		}
+		for i := range got.completions {
+			if got.completions[i] != want.completions[i] {
+				t.Fatalf("op %d completion diverged: incremental %v, oracle %v (script %+v)",
+					i, got.completions[i], want.completions[i], s.ops[i])
+			}
+		}
+		if len(got.probes) != len(want.probes) {
+			t.Fatalf("probe count diverged: %d vs %d", len(got.probes), len(want.probes))
+		}
+		for i := range got.probes {
+			if got.probes[i] != want.probes[i] {
+				t.Fatalf("probe %d diverged: incremental %v, oracle %v", i, got.probes[i], want.probes[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package flow
+
+// solver owns the bipartite transfer↔resource graph and re-solves max-min
+// fair rates incrementally. Each Resource keeps a persistent membership
+// list of the active transfers crossing it; events (transfer start/finish,
+// capacity change, timer drain) mark the resources they touch dirty, and
+// solve recomputes only the connected component(s) of the graph reachable
+// from the dirty set. Transfers outside that component keep their rates.
+//
+// Correctness of the restriction: water-filling decomposes over connected
+// components — fixing a flow changes only the residuals and counts of the
+// resources that flow crosses, so components evolve independently, and the
+// rate of every flow in an untouched component is reproduced bit-for-bit
+// by its previous solve (same members, same capacities, same order, same
+// float operations). The component solve below performs exactly the
+// arithmetic the historical from-scratch pass (kept as the oracle in the
+// test tree) performs for that component: flows are visited in active
+// (start) order, resources in first-seen order, bottleneck ties break to
+// the earlier resource, and loads accumulate in fix order — so every
+// simulated timestamp is bit-identical to a full recompute.
+//
+// All scratch (BFS queue, component flow/resource lists, dirty set) lives
+// on the solver and is reused across events; visit marks are epoch
+// counters on the graph nodes, so nothing is cleared or allocated in the
+// steady state.
+type solver struct {
+	// epoch is the visit-mark generation; it advances twice per solve
+	// (once for the BFS, once for the component reset) and never wraps
+	// in practice (int64 at two bumps per simulation event).
+	epoch int64
+
+	// dirty lists resources touched since the last solve (deduplicated
+	// via Resource.dirty).
+	dirty []*Resource
+
+	// Reusable scratch: BFS queue, component flows in active order,
+	// component resources in first-seen order.
+	queue []*Resource
+	flows []*transfer
+	res   []*Resource
+}
+
+// markDirty adds r to the dirty set for the next solve.
+func (s *solver) markDirty(r *Resource) {
+	if !r.dirty {
+		r.dirty = true
+		s.dirty = append(s.dirty, r)
+	}
+}
+
+// solve recomputes max-min fair rates for every transfer connected to a
+// dirty resource, leaving all other transfers (and their resources'
+// committed loads) untouched. active must be the full active list in
+// start order; it is scanned once to keep component flows in exactly the
+// order the from-scratch pass would visit them.
+func (s *solver) solve(active []*transfer) {
+	if len(s.dirty) == 0 {
+		return
+	}
+	// Phase 1: BFS over the bipartite graph from the dirty resources to
+	// find the affected component(s).
+	s.epoch++
+	ep := s.epoch
+	queue := s.queue[:0]
+	for _, r := range s.dirty {
+		r.dirty = false
+		if r.visit != ep {
+			r.visit = ep
+			queue = append(queue, r)
+		}
+	}
+	s.dirty = s.dirty[:0]
+	touched := 0
+	for i := 0; i < len(queue); i++ {
+		for _, t := range queue[i].members {
+			if t.visit == ep {
+				continue
+			}
+			t.visit = ep
+			touched++
+			for _, r := range t.resources {
+				if r.visit != ep {
+					r.visit = ep
+					queue = append(queue, r)
+				}
+			}
+		}
+	}
+	s.queue = queue[:0]
+	if touched == 0 {
+		// Dirty resources with no active flows (a drained resource's
+		// capacity change, a finished transfer's last resource): loads
+		// were already cleared by the caller; nothing to solve.
+		return
+	}
+	// Phase 2: collect the component's flows in active order — the order
+	// the from-scratch pass fixes them in.
+	flows := s.flows[:0]
+	if touched == len(active) {
+		flows = append(flows, active...)
+	} else {
+		for _, t := range active {
+			if t.visit == ep {
+				flows = append(flows, t)
+			}
+		}
+	}
+	// Phase 3: reset the component's resources in first-seen order and
+	// count their member flows. A resource's members are all inside the
+	// component (components are closed over membership), so count is
+	// simply accumulated per incidence, as the from-scratch pass does.
+	s.epoch++
+	ep = s.epoch
+	res := s.res[:0]
+	for _, t := range flows {
+		t.fixed = false
+		t.rate = 0
+		for _, r := range t.resources {
+			if r.visit != ep {
+				r.visit = ep
+				r.residual = r.capacity
+				r.count = 0
+				r.load = 0
+				res = append(res, r)
+			}
+			r.count++
+		}
+	}
+	// Phase 4: progressive filling, arithmetic identical to the
+	// from-scratch pass restricted to this component. Each round walks
+	// only the bottleneck's own membership list, and resources with no
+	// unfixed flows left are compacted out.
+	unfixed := len(flows)
+	resources := res
+	for unfixed > 0 {
+		var bottleneck *Resource
+		bestShare := 0.0
+		liveRes := resources[:0]
+		for _, r := range resources {
+			if r.count <= 0 {
+				continue
+			}
+			liveRes = append(liveRes, r)
+			share := r.residual / float64(r.count)
+			if bottleneck == nil || share < bestShare {
+				bottleneck = r
+				bestShare = share
+			}
+		}
+		resources = liveRes
+		if bottleneck == nil {
+			panic("flow: unfixed transfers with no remaining resources")
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		for _, t := range bottleneck.members {
+			if t.fixed {
+				continue
+			}
+			t.rate = bestShare
+			t.fixed = true
+			unfixed--
+			for _, r := range t.resources {
+				r.residual -= bestShare
+				if r.residual < 0 {
+					r.residual = 0
+				}
+				r.count--
+				r.load += bestShare
+			}
+		}
+	}
+	s.flows = flows[:0]
+	s.res = res[:0]
+}

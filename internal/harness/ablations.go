@@ -66,6 +66,22 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 		}
 		return results, out, nil
 	}
+	if name == "scale" {
+		// The large-matrix scale study: cluster sizes beyond the paper's
+		// 8 nodes, paired against the 8-node baseline; honours opt.Seeds.
+		cells, out, err := ScaleStudy(ScaleStudyOptions{Sweep: opt})
+		if err != nil {
+			return nil, "", err
+		}
+		results := make([]AblationResult, len(cells))
+		for i, c := range cells {
+			results[i] = AblationResult{
+				Label:  fmt.Sprintf("%s/%s n=%d", c.Config.App, c.Config.Storage, c.Config.Workers),
+				Result: c.Rep.Runs[0],
+			}
+		}
+		return results, out, nil
+	}
 	a, ok := ablations[name]
 	if !ok {
 		return nil, "", fmt.Errorf("harness: unknown ablation %q (want one of %s)", name, strings.Join(AblationNames(), ", "))
@@ -79,7 +95,7 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures", "outages"}
+	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures", "outages", "scale"}
 }
 
 // ablation declares one experiment: a labelled list of cells plus an

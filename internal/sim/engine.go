@@ -9,6 +9,13 @@
 // engine or a single process — runs at any instant, so simulation state
 // needs no locking and runs are bit-for-bit reproducible: events at equal
 // times fire in scheduling order (FIFO by sequence number).
+//
+// Event records are recycled through a free list: a simulation that
+// schedules millions of sleeps and timer re-arms (the flow network's
+// steady-state transfer churn) allocates a bounded number of event structs
+// rather than one per schedule. Recycling is guarded by a per-event
+// generation counter so a stale Timer handle can never cancel an unrelated
+// event that happens to reuse the same record.
 package sim
 
 import (
@@ -21,6 +28,10 @@ type event struct {
 	at  float64
 	seq int64
 	fn  func()
+	// gen distinguishes successive uses of a recycled event record;
+	// Timer/ReTimer handles remember the generation they scheduled and
+	// become no-ops once it moves on.
+	gen uint64
 }
 
 // eventHeap is a min-heap ordered by (time, sequence).
@@ -50,6 +61,7 @@ type Engine struct {
 	now      float64
 	seq      int64
 	events   eventHeap
+	free     []*event      // recycled event records
 	yielded  chan struct{} // signaled by a process when it parks or exits
 	cur      *Proc
 	panicVal interface{}
@@ -65,16 +77,40 @@ func NewEngine() *Engine {
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a simulation bug.
-func (e *Engine) At(t float64, fn func()) *Timer {
+// schedule enqueues fn at absolute time t, reusing a recycled event record
+// when one is available. It is the allocation-free core of At/After and the
+// process wakeup path.
+func (e *Engine) schedule(t float64, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.events, ev)
-	return &Timer{e: e, ev: ev}
+	return ev
+}
+
+// recycle returns a popped event record to the free list for reuse.
+// Bumping the generation invalidates any Timer/ReTimer still holding it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a simulation bug.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	ev := e.schedule(t, fn)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -84,15 +120,54 @@ func (e *Engine) After(d float64, fn func()) *Timer {
 
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct {
-	e  *Engine
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer if it has not fired. A stopped event's slot stays
-// in the heap with a nil fn and is skipped when popped.
+// in the heap with a nil fn and is skipped (and recycled) when popped.
+// Stopping a timer whose event already fired is a no-op: the generation
+// check keeps a stale handle from cancelling a recycled record.
 func (t *Timer) Stop() {
 	if t != nil && t.ev != nil {
-		t.ev.fn = nil
+		if t.ev.gen == t.gen {
+			t.ev.fn = nil
+		}
+		t.ev = nil
+	}
+}
+
+// ReTimer is a reusable one-shot timer bound to a fixed callback. Arm
+// schedules the callback, replacing any previous schedule; after creation,
+// arming and stopping never allocate (event records come from the engine's
+// free list). It exists for hot paths that re-arm one logical timer on
+// every event — the flow network's completion timer.
+type ReTimer struct {
+	e   *Engine
+	fn  func()
+	ev  *event
+	gen uint64
+}
+
+// NewReTimer returns an unarmed reusable timer that runs fn when it fires.
+func (e *Engine) NewReTimer(fn func()) *ReTimer {
+	return &ReTimer{e: e, fn: fn}
+}
+
+// Arm schedules the timer's callback d seconds from now, cancelling any
+// previously armed schedule.
+func (t *ReTimer) Arm(d float64) {
+	t.Stop()
+	ev := t.e.schedule(t.e.now+d, t.fn)
+	t.ev, t.gen = ev, ev.gen
+}
+
+// Stop cancels the armed schedule, if any. Safe after the timer fired.
+func (t *ReTimer) Stop() {
+	if t.ev != nil {
+		if t.ev.gen == t.gen {
+			t.ev.fn = nil
+		}
 		t.ev = nil
 	}
 }
@@ -114,13 +189,16 @@ func (e *Engine) step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.fn == nil {
-			continue // cancelled
+			e.recycle(ev) // cancelled
+			continue
 		}
 		if ev.at < e.now {
 			panic("sim: event heap time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		fn()
+		e.recycle(ev)
 		if e.panicVal != nil {
 			v := e.panicVal
 			e.panicVal = nil
@@ -147,7 +225,7 @@ func (e *Engine) RunUntil(t float64) bool {
 	for len(e.events) > 0 {
 		// Peek at the next live event.
 		if e.events[0].fn == nil {
-			heap.Pop(&e.events)
+			e.recycle(heap.Pop(&e.events).(*event))
 			continue
 		}
 		if e.events[0].at > t {
@@ -167,7 +245,7 @@ func (e *Engine) wake(p *Proc) {
 	if p.finished {
 		panic("sim: waking finished process " + p.name)
 	}
-	e.At(e.now, func() { e.resume(p) })
+	e.schedule(e.now, p.resumeFn)
 }
 
 // resume hands control to a parked process and waits for it to park again

@@ -467,3 +467,74 @@ func TestPropertySemaphoreNeverOversubscribed(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The event free list must not let a stale Timer handle cancel an
+// unrelated event that reuses the same record.
+func TestStaleTimerStopDoesNotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	tm := e.After(1, func() { fired = append(fired, "a") })
+	if !e.step() { // fires "a"; its event record is recycled
+		t.Fatal("no event to run")
+	}
+	e.After(1, func() { fired = append(fired, "b") }) // reuses the record
+	tm.Stop()                                         // stale handle: must be a no-op
+	e.Run()
+	if len(fired) != 2 || fired[1] != "b" {
+		t.Fatalf("fired = %v, want [a b] (stale Stop cancelled a recycled event)", fired)
+	}
+}
+
+// ReTimer re-arming must behave like stop+schedule: only the last armed
+// schedule fires, and firing order with respect to other events follows
+// scheduling order exactly as for plain timers.
+func TestReTimerRearmAndStop(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	rt := e.NewReTimer(func() { fired++ })
+	rt.Arm(5)
+	rt.Arm(2) // replaces the first schedule
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("fired at %g, want 2", e.Now())
+	}
+	rt.Arm(3)
+	rt.Stop()
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("stopped ReTimer fired anyway (count %d)", fired)
+	}
+	// Stop after firing must not disturb a subsequent schedule that
+	// reuses the recycled event record.
+	rt.Arm(1)
+	e.Run()
+	rt.Stop()
+	other := false
+	e.After(1, func() { other = true })
+	rt.Stop() // stale again
+	e.Run()
+	if fired != 2 || !other {
+		t.Fatalf("fired=%d other=%v, want 2 true", fired, other)
+	}
+}
+
+// Steady-state sleep churn must not allocate: event records and the
+// process resume closure are reused.
+func TestSleepChurnAllocationFree(t *testing.T) {
+	e := NewEngine()
+	e.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(1)
+		}
+	})
+	e.RunUntil(10) // warm up the free list
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunUntil(e.Now() + 5)
+	})
+	if allocs > 0 {
+		t.Errorf("sleep churn allocated %.1f objects per 5 ticks, want 0", allocs)
+	}
+}

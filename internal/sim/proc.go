@@ -12,6 +12,9 @@ type Proc struct {
 	wakeCh   chan struct{}
 	finished bool
 	daemon   bool
+	// resumeFn is the pre-bound resume callback scheduled by Sleep and
+	// wake; binding it once keeps the park/resume cycle allocation-free.
+	resumeFn func()
 }
 
 // Go starts a new process running fn. The process begins executing at the
@@ -20,6 +23,7 @@ type Proc struct {
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	e.procSeq++
 	p := &Proc{e: e, name: name, id: e.procSeq, wakeCh: make(chan struct{})}
+	p.resumeFn = func() { e.resume(p) }
 	e.live++
 	e.At(e.now, func() { e.start(p, fn) })
 	return p
@@ -95,7 +99,7 @@ func (p *Proc) Sleep(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s sleeping for negative duration %g", p.name, d))
 	}
-	p.e.After(d, func() { p.e.resume(p) })
+	p.e.schedule(p.e.now+d, p.resumeFn)
 	p.park()
 }
 

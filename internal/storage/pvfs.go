@@ -42,6 +42,10 @@ type PVFS struct {
 	env   *Env
 	start map[*workflow.File]int // first stripe server index
 	stats Stats
+	// res is the per-shard resource scratch reused across stripedIO
+	// calls; safe because Batch.Add copies it into the shard record
+	// before the process can park.
+	res []*flow.Resource
 }
 
 // NewPVFS returns the PVFS system.
@@ -126,11 +130,13 @@ func (v *PVFS) stripedIO(p *sim.Proc, node *cluster.Node, f *workflow.File, writ
 	}
 	share := f.Size / float64(len(servers))
 	// All shards of one logical file move through the client's request
-	// window, modelled as a rate cap shared by the shard transfers.
-	window := flow.NewResource("pvfs-client-window", pvfsClientStreamRate)
-	pendings := make([]*flow.Pending, 0, len(servers))
+	// window, modelled as a pooled rate cap shared by the shard
+	// transfers. The shards register through a Batch: one reallocation
+	// for the whole fan-out instead of one per stripe server.
+	window := v.env.Net.AcquireCap("pvfs-client-window", pvfsClientStreamRate)
+	b := v.env.Net.NewBatch()
 	for _, s := range servers {
-		res := []*flow.Resource{window}
+		res := append(v.res[:0], window)
 		if write {
 			res = append(res, s.Disk.WriteResource())
 			if s != node {
@@ -145,11 +151,11 @@ func (v *PVFS) stripedIO(p *sim.Proc, node *cluster.Node, f *workflow.File, writ
 		if s != node {
 			v.stats.NetworkBytes += share
 		}
-		pendings = append(pendings, v.env.Net.StartTransfer(share, res...))
+		b.Add(share, res...)
+		v.res = res
 	}
-	for _, pd := range pendings {
-		pd.Wait(p)
-	}
+	b.Run(p)
+	v.env.Net.ReleaseCap(window)
 }
 
 // Read implements System. Every read is a cache miss by construction: the

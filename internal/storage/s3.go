@@ -100,9 +100,11 @@ func (s *S3) get(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	s.stats.NetworkBytes += f.Size
 	p.Sleep(s3GetLatency)
 	// Stream from the service through the NIC onto the local disk: the
-	// first of the paper's "each file must be written twice" writes.
-	conn := flow.NewResource("s3-conn", s3PerConnRate)
+	// first of the paper's "each file must be written twice" writes. The
+	// per-connection ceiling is a pooled cap from the flow graph.
+	conn := s.env.Net.AcquireCap("s3-conn", s3PerConnRate)
 	node.Disk.Write(p, f.Size, conn, s.service, node.NICIn)
+	s.env.Net.ReleaseCap(conn)
 	s.pageCaches[node].Insert(f)
 }
 
@@ -112,7 +114,7 @@ func (s *S3) put(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	s.stats.BytesUploaded += f.Size
 	s.stats.NetworkBytes += f.Size
 	p.Sleep(s3PutLatency)
-	conn := flow.NewResource("s3-conn", s3PerConnRate)
+	conn := s.env.Net.AcquireCap("s3-conn", s3PerConnRate)
 	if s.pageCaches[node].Lookup(f) {
 		// Freshly written data is still in the page cache: upload
 		// straight from memory.
@@ -120,6 +122,7 @@ func (s *S3) put(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	} else {
 		node.Disk.Read(p, f.Size, conn, s.service, node.NICOut)
 	}
+	s.env.Net.ReleaseCap(conn)
 	s.objects[f] = true
 }
 

@@ -79,8 +79,9 @@ func (x *XtreemFS) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	}
 	x.stats.CacheMisses++
 	x.stats.NetworkBytes += f.Size
-	conn := flow.NewResource("xtreemfs-conn", xtreemPerConnRate)
+	conn := x.env.Net.AcquireCap("xtreemfs-conn", xtreemPerConnRate)
 	x.env.Net.Transfer(p, f.Size, conn, x.service, node.NICIn)
+	x.env.Net.ReleaseCap(conn)
 	x.caches[node].Insert(f)
 }
 
@@ -89,8 +90,9 @@ func (x *XtreemFS) Write(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	x.stats.Writes++
 	p.Sleep(xtreemOpLatency)
 	x.stats.NetworkBytes += f.Size
-	conn := flow.NewResource("xtreemfs-conn", xtreemPerConnRate)
+	conn := x.env.Net.AcquireCap("xtreemfs-conn", xtreemPerConnRate)
 	x.env.Net.Transfer(p, f.Size, conn, x.service, node.NICOut)
+	x.env.Net.ReleaseCap(conn)
 	x.staged[f] = true
 	x.caches[node].Insert(f)
 }
