@@ -27,7 +27,7 @@ func (n *Net) NewBatch() *Batch {
 		n.freeBatches[k-1] = nil
 		n.freeBatches = n.freeBatches[:k-1]
 	} else {
-		b = &Batch{n: n}
+		b = &Batch{n: n, ts: make([]*transfer, 0, 8)}
 	}
 	b.pd = n.getPending()
 	return b
@@ -51,6 +51,11 @@ func (b *Batch) Run(p *sim.Proc) {
 	n := b.n
 	if len(b.ts) == 0 {
 		b.pd.done = true
+	} else if n.version >= 2 {
+		for _, t := range b.ts {
+			n.attach(t)
+		}
+		n.requestFlush()
 	} else {
 		n.advance()
 		for _, t := range b.ts {

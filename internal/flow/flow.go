@@ -45,15 +45,13 @@ type Resource struct {
 	name     string
 	capacity float64
 
-	// members lists the active transfers crossing this resource, in
-	// start order — one side of the solver's bipartite graph. It is
-	// maintained incrementally by attach/detach.
-	members []*transfer
-
-	// solver scratch, epoch-guarded (see solver.solve).
-	visit    int64
+	// Solver scratch (epoch-guarded, see solver.solve) and the current
+	// committed allocation. Kept adjacent to capacity so the whole set
+	// the water-filling inner loop touches shares a cache line.
 	residual float64
 	count    int
+	load     float64 // committed allocation, for utilization queries
+	visit    int64
 	dirty    bool
 
 	// pooledCap marks resources minted by AcquireCap; pooled reports
@@ -63,8 +61,10 @@ type Resource struct {
 	pooledCap bool
 	pooled    bool
 
-	// current committed allocation, for utilization queries
-	load float64
+	// members lists the active transfers crossing this resource, in
+	// start order — one side of the solver's bipartite graph. It is
+	// maintained incrementally by attach/detach.
+	members []*transfer
 }
 
 // NewResource returns a resource with the given capacity in bytes/second.
@@ -73,7 +73,9 @@ func NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 {
 		panic(badArg("NewResource", "capacity", "resource %q with non-positive capacity %g", name, capacity))
 	}
-	return &Resource{name: name, capacity: capacity}
+	// Membership lists churn constantly on hot resources; starting with
+	// room for a few members skips the first rounds of regrowth.
+	return &Resource{name: name, capacity: capacity, members: make([]*transfer, 0, 8)}
 }
 
 // Name returns the resource name.
@@ -98,6 +100,15 @@ type transfer struct {
 	fixed     bool
 	visit     int64
 	id        int64
+
+	// v2 state: lazy-integration timestamp, the rate of the previous
+	// solve (to skip re-keying ETAs that are still exact), position in
+	// the ETA heap (-1 when absent) and in the active list (for
+	// swap-removal). v1 leaves all four untouched.
+	last      float64
+	prevRate  float64
+	etaPos    int
+	activeIdx int
 }
 
 // Pending is a handle to one or more asynchronous transfers started with
@@ -139,16 +150,26 @@ func (pd *Pending) complete() {
 // Net manages the set of active transfers over a shared resource pool.
 type Net struct {
 	e          *sim.Engine
-	active     []*transfer // in start order (solver relies on this)
+	active     []*transfer // in start order (the v1 solver relies on this)
 	timer      *sim.ReTimer
 	lastUpdate float64
 	nextID     int64
 	sol        solver
 
+	// Solver version gate (see flow_v2.go): 1 solves eagerly per event,
+	// 2 coalesces all events on a timestamp into one deferred solve.
+	version    int
+	flushTimer *sim.ReTimer
+	flushArmed bool
+	etaHeap    []etaEntry
+	timerArmed bool    // completion timer is pending
+	timerAt    float64 // ... for this instant, when timerArmed
+
 	// Free lists: steady-state churn recycles transfer and Pending
 	// records, batches, private rate caps and the onTimer scratch, so
 	// the hot path performs no allocations.
 	freeTransfers []*transfer
+	tBlock        []transfer // bump region; getTransfer carves when the free list is dry
 	freePendings  []*Pending
 	freeBatches   []*Batch
 	freeCaps      []*Resource
@@ -160,9 +181,10 @@ type Net struct {
 	TotalTransfers int64
 }
 
-// NewNet returns an empty transfer network bound to the engine.
+// NewNet returns an empty transfer network bound to the engine, running
+// the default (v1) solver. Use NewNetVersion to opt into solver v2.
 func NewNet(e *sim.Engine) *Net {
-	n := &Net{e: e}
+	n := &Net{e: e, version: 1}
 	n.timer = e.NewReTimer(n.onTimer)
 	return n
 }
@@ -176,6 +198,15 @@ func (n *Net) Active() int { return len(n.active) }
 func (n *Net) SetResourceCapacity(r *Resource, capacity float64) {
 	if capacity <= 0 {
 		panic(badArg("SetResourceCapacity", "capacity", "setting non-positive capacity %g on %q", capacity, r.name))
+	}
+	if n.version >= 2 {
+		r.capacity = capacity
+		if len(r.members) == 0 {
+			r.load = 0
+		}
+		n.sol.markDirty(r)
+		n.requestFlush()
+		return
 	}
 	n.advance()
 	r.capacity = capacity
@@ -218,10 +249,16 @@ func (n *Net) StartTransfer(size float64, resources ...*Resource) *Pending {
 	return n.start(size, resources)
 }
 
-// start registers one validated transfer and re-solves its component.
+// start registers one validated transfer and re-solves its component
+// (v1) or marks it for the coalesced solve at this timestamp (v2).
 func (n *Net) start(size float64, resources []*Resource) *Pending {
 	pd := n.getPending()
 	t := n.stage(pd, size, resources)
+	if n.version >= 2 {
+		n.attach(t)
+		n.requestFlush()
+		return pd
+	}
 	n.advance()
 	n.attach(t)
 	n.sol.solve(n.active)
@@ -251,6 +288,7 @@ func (n *Net) stage(pd *Pending, size float64, resources []*Resource) *transfer 
 	t.id = n.nextID
 	t.pending = pd
 	t.remaining = size
+	t.last = n.e.Now()
 	pd.refs++
 	n.TotalBytes += size
 	n.TotalTransfers++
@@ -262,6 +300,7 @@ func (n *Net) stage(pd *Pending, size float64, resources []*Resource) *transfer 
 // resources dirty for the next solve.
 func (n *Net) attach(t *transfer) {
 	n.active = append(n.active, t)
+	t.activeIdx = len(n.active) - 1
 	for _, r := range t.resources {
 		r.members = append(r.members, t)
 		n.sol.markDirty(r)
@@ -433,7 +472,21 @@ func (n *Net) getTransfer() *transfer {
 		n.freeTransfers = n.freeTransfers[:k-1]
 		return t
 	}
-	return &transfer{}
+	// Carve fresh records from a block so concurrently active transfers
+	// sit contiguously (the solver walks them constantly) and each comes
+	// with a pre-carved resource slice sized for the common fan-in.
+	if len(n.tBlock) == 0 {
+		block := make([]transfer, 32)
+		res := make([]*Resource, 32*4)
+		for i := range block {
+			block[i].etaPos = -1
+			block[i].resources = res[i*4 : i*4 : (i+1)*4]
+		}
+		n.tBlock = block
+	}
+	t := &n.tBlock[0]
+	n.tBlock = n.tBlock[1:]
+	return t
 }
 
 func (n *Net) recycleTransfer(t *transfer) {
@@ -441,6 +494,10 @@ func (n *Net) recycleTransfer(t *transfer) {
 	t.remaining = 0
 	t.rate = 0
 	t.fixed = false
+	t.last = 0
+	t.prevRate = 0
+	t.etaPos = -1 // v2 removes the heap entry before recycling
+	t.activeIdx = 0
 	for i := range t.resources {
 		t.resources[i] = nil
 	}

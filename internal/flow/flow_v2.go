@@ -1,0 +1,522 @@
+package flow
+
+import "ec2wfsim/internal/sim"
+
+// Solver v2 — the opt-in fast mode behind NewNetVersion(e, 2).
+//
+// v2 keeps the same max-min fair model as v1 but changes the event
+// mechanics in three ways, each of which perturbs tie-break and float
+// accumulation order (which is why it is a versioned mode rather than a
+// drop-in replacement; see README "Solver versions" for the contract):
+//
+//   - Deferred, coalesced reallocation. Events (start, batch, capacity
+//     change, completion drain) only mark resources dirty and arm a
+//     zero-delay flush timer; all events landing on one simulated
+//     timestamp are solved once, instead of paying one component solve
+//     per event. Probes that need committed state call Sync first.
+//
+//   - Lazy advance. Each transfer carries its own integration timestamp
+//     (transfer.last); progress is integrated only when the transfer is
+//     rediscovered by a component solve or checked for completion, so an
+//     event never walks active transfers outside its own component.
+//
+//   - Heaps instead of scans. Progressive filling pops the bottleneck
+//     resource from a lazy min-heap keyed by residual/count rather than
+//     rescanning every component resource per round, and the next
+//     completion comes from an indexed min-heap of per-transfer ETAs
+//     (transfer.etaPos) rather than a scan of the whole active set.
+//
+// The ETA heap exploits that a transfer's completion instant is
+// invariant under solves that leave its rate untouched: progress is
+// linear, so now + remaining/rate is the same instant the previous
+// solve computed (the arithmetic is bit-identical inputs → bit-identical
+// shares, so the comparison is exact, not a tolerance). After a
+// component solve only the flows whose rate actually changed re-key
+// their heap entry — on the symmetric striped shapes that dominate the
+// benchmarks, that is a handful out of hundreds.
+//
+// The bottleneck heap is lazy in the standard sense: during progressive
+// filling a resource's fair share residual/count only rises as flows are
+// fixed (fixing at share s <= residual/count implies the new share
+// (residual-s)/(count-1) >= residual/count), so a stale heap entry is
+// always stale-low. Popping the minimum entry and recomputing its
+// current share is therefore sound: if the share rose, requeue it; if
+// it is unchanged, every other entry's current share is at least its
+// stored key — so this resource is a true bottleneck and its unfixed
+// members are fixed at that share.
+type etaEntry struct {
+	at float64
+	t  *transfer
+}
+
+type bnEntry struct {
+	share float64
+	r     *Resource
+}
+
+// NewNetVersion returns a transfer network running the requested solver
+// version. Version 0 and 1 both select v1, the default bit-identical
+// incremental solver; version 2 selects the coalescing heap solver.
+// Any other version panics with *ArgumentError.
+func NewNetVersion(e *sim.Engine, version int) *Net {
+	switch version {
+	case 0, 1:
+		return NewNet(e)
+	case 2:
+		n := &Net{e: e, version: 2}
+		n.timer = e.NewReTimer(n.onTimerV2)
+		n.flushTimer = e.NewReTimer(n.onFlush)
+		// Seed the hot-path slices with room for a mid-sized component.
+		// Growing them organically costs a log-series of allocations per
+		// Net, and on short-lived networks (one per swept cell) that
+		// regrowth dominates the allocation profile.
+		n.active = make([]*transfer, 0, 64)
+		n.etaHeap = make([]etaEntry, 0, 64)
+		n.freeTransfers = make([]*transfer, 0, 64)
+		n.doneScratch = make([]*transfer, 0, 32)
+		n.sol.dirty = make([]*Resource, 0, 64)
+		n.sol.queue = make([]*Resource, 0, 64)
+		n.sol.flows = make([]*transfer, 0, 64)
+		n.sol.bn = make([]bnEntry, 0, 64)
+		return n
+	}
+	panic(badArg("NewNetVersion", "version", "unknown flow solver version %d", version))
+}
+
+// Version reports which solver version this network runs (1 or 2).
+func (n *Net) Version() int { return n.version }
+
+// Sync forces any reallocation deferred by v2's same-timestamp
+// coalescing to run now, so that Load and Utilization report the rates
+// in effect at the current simulated time. It is a no-op on v1 (which
+// solves eagerly) and when nothing is pending.
+func (n *Net) Sync() {
+	if n.version < 2 || !n.flushArmed {
+		return
+	}
+	n.flushTimer.Stop()
+	n.flushArmed = false
+	n.flushV2()
+}
+
+// requestFlush arms the zero-delay flush timer (once per timestamp).
+// Every v2 mutation path marks resources dirty and calls this, so a
+// pending dirty set always implies an armed flush.
+func (n *Net) requestFlush() {
+	if !n.flushArmed {
+		n.flushArmed = true
+		n.flushTimer.Arm(0)
+	}
+}
+
+func (n *Net) onFlush() {
+	n.flushArmed = false
+	n.flushV2()
+}
+
+// flushV2 re-solves the component(s) reachable from the dirty set and
+// re-keys the completion ETA of every flow whose rate changed.
+func (n *Net) flushV2() {
+	now := n.e.Now()
+	for _, t := range n.sol.solveV2(now, n.active) {
+		if t.rate == t.prevRate && t.etaPos >= 0 {
+			// Same rate, linear progress: the completion instant this
+			// entry already holds is still exact.
+			continue
+		}
+		n.rescheduleETA(t, now)
+	}
+	n.armNextV2()
+}
+
+// rescheduleETA places t's single heap entry at its completion instant:
+// due now if within completionEps of done, at the rate-projected instant
+// otherwise, and absent while starved (a starved flow gets a new ETA
+// when a later event re-solves its component).
+func (n *Net) rescheduleETA(t *transfer, now float64) {
+	switch {
+	case t.remaining <= completionEps:
+		n.etaSet(t, now)
+	case t.rate > 0:
+		n.etaSet(t, now+t.remaining/t.rate)
+	default:
+		n.etaRemove(t)
+	}
+}
+
+// armNextV2 arms the completion timer for the earliest ETA, skipping the
+// engine round-trip when a pending timer already points at that instant.
+// With active transfers, no ETA and no pending flush, every transfer is
+// starved — the same overcommitment condition v1 panics on.
+func (n *Net) armNextV2() {
+	if len(n.etaHeap) == 0 {
+		if n.timerArmed {
+			n.timerArmed = false
+			n.timer.Stop()
+		}
+		if len(n.active) > 0 && !n.flushArmed {
+			panic("flow: all active transfers starved")
+		}
+		return
+	}
+	at := n.etaHeap[0].at
+	if n.timerArmed && n.timerAt == at {
+		return
+	}
+	n.timer.Stop()
+	d := at - n.e.Now()
+	if d < 0 {
+		d = 0
+	}
+	n.timerArmed = true
+	n.timerAt = at
+	n.timer.Arm(d)
+}
+
+// onTimerV2 drains every ETA due at the current time: completed
+// transfers leave the graph and resolve their handles, near-misses (the
+// entry was placed under a since-lowered remaining estimate) re-key to
+// their true instant. Departures dirty their resources, so a flush
+// follows at this same timestamp — coalesced with whatever the resumed
+// waiters start next.
+func (n *Net) onTimerV2() {
+	n.timerArmed = false // it just fired
+	now := n.e.Now()
+	done := n.doneScratch[:0]
+	for len(n.etaHeap) > 0 && n.etaHeap[0].at <= now {
+		t := n.etaHeap[0].t
+		n.integrate(t, now)
+		switch {
+		case t.remaining <= completionEps:
+			n.etaRemove(t)
+			n.detachV2(t)
+			n.removeActive(t)
+			done = append(done, t)
+		case t.rate > 0:
+			n.etaSet(t, now+t.remaining/t.rate)
+		default:
+			n.etaRemove(t)
+		}
+	}
+	for _, t := range done {
+		t.pending.complete()
+	}
+	if len(n.sol.dirty) > 0 {
+		n.requestFlush()
+	}
+	n.armNextV2()
+	for _, t := range done {
+		n.recycleTransfer(t)
+	}
+	n.doneScratch = done[:0]
+}
+
+// integrate applies t's current rate over the window since its last
+// integration. Rates are piecewise constant between solves of t's
+// component, so integrating lazily at the next touch is exact.
+func (n *Net) integrate(t *transfer, now float64) {
+	if dt := now - t.last; dt > 0 {
+		t.remaining -= t.rate * dt
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+	t.last = now
+}
+
+// detachV2 removes a completed transfer from its resources' membership
+// lists. Unlike v1's detach it swap-removes: v2 collects component flows
+// in BFS discovery order, so member order carries no meaning.
+func (n *Net) detachV2(t *transfer) {
+	for _, r := range t.resources {
+		ms := r.members
+		for i, m := range ms {
+			if m == t {
+				last := len(ms) - 1
+				ms[i] = ms[last]
+				ms[last] = nil
+				r.members = ms[:last]
+				break
+			}
+		}
+		r.load = 0
+		n.sol.markDirty(r)
+	}
+}
+
+// removeActive swap-removes t from the active list via its stored index.
+func (n *Net) removeActive(t *transfer) {
+	i := t.activeIdx
+	last := len(n.active) - 1
+	n.active[i] = n.active[last]
+	n.active[i].activeIdx = i
+	n.active[last] = nil
+	n.active = n.active[:last]
+}
+
+// Indexed ETA min-heap (keyed by at): at most one entry per transfer,
+// whose position lives on the record (transfer.etaPos, -1 when absent),
+// so a rate change re-keys in place instead of abandoning stale entries.
+// Hand-rolled to keep the hot path free of interface boxing.
+
+// etaSet inserts or re-keys t's entry at time at.
+func (n *Net) etaSet(t *transfer, at float64) {
+	if t.etaPos < 0 {
+		t.etaPos = len(n.etaHeap)
+		n.etaHeap = append(n.etaHeap, etaEntry{at: at, t: t})
+		n.etaUp(t.etaPos)
+		return
+	}
+	n.etaHeap[t.etaPos].at = at
+	n.etaDown(n.etaUp(t.etaPos))
+}
+
+// etaRemove deletes t's entry, if any.
+func (n *Net) etaRemove(t *transfer) {
+	i := t.etaPos
+	if i < 0 {
+		return
+	}
+	t.etaPos = -1
+	h := n.etaHeap
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		h[i].t.etaPos = i
+	}
+	h[last] = etaEntry{}
+	n.etaHeap = h[:last]
+	if i != last {
+		n.etaDown(n.etaUp(i))
+	}
+}
+
+// etaUp sifts the entry at i toward the root, returning its final index.
+func (n *Net) etaUp(i int) int {
+	h := n.etaHeap
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		h[p].t.etaPos = p
+		h[i].t.etaPos = i
+		i = p
+	}
+	return i
+}
+
+// etaDown sifts the entry at i toward the leaves.
+func (n *Net) etaDown(i int) {
+	h := n.etaHeap
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].at < h[l].at {
+			m = r
+		}
+		if h[i].at <= h[m].at {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		h[i].t.etaPos = i
+		h[m].t.etaPos = m
+		i = m
+	}
+}
+
+// Bottleneck min-heap (keyed by share), lazy: a resource may appear
+// more than once, with stale-low keys resolved at pop time.
+
+func bnPush(h []bnEntry, e bnEntry) []bnEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].share <= h[i].share {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func bnPop(h []bnEntry) []bnEntry {
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = bnEntry{}
+	h = h[:last]
+	bnDown(h, 0)
+	return h
+}
+
+func bnDown(h []bnEntry, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].share < h[l].share {
+			m = r
+		}
+		if h[i].share <= h[m].share {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// solveV2 is the v2 component solve, followed by heap-driven
+// progressive filling. Flows are collected in a single pass that
+// discovers, integrates and resets the affected subgraph (v1 spends
+// three passes and a scan of the full active list): a sparse dirty set
+// is chased by BFS over member lists, while a dense one — the usual
+// case when a striped fan-out completes and its successor starts in the
+// same instant — takes one contiguous sweep of the active list instead.
+// Sweeping flows whose component is actually clean is harmless:
+// progressive filling never mixes arithmetic across components (every
+// share derives from a resource's own residual and count), so clean
+// components re-solve to their previous rates bit-for-bit and the ETA
+// re-key skip drops them untouched. It returns the affected flows so
+// the caller can re-key their ETAs; the slice is solver scratch, valid
+// only until the next solve.
+func (s *solver) solveV2(now float64, active []*transfer) []*transfer {
+	if len(s.dirty) == 0 {
+		return nil
+	}
+	s.epoch++
+	ep := s.epoch
+	queue := s.queue[:0]
+	flows := s.flows[:0]
+	h := s.bn[:0]
+	// Reset every dirty resource. The unfixed count starts at the full
+	// membership — members holds exactly the active transfers crossing
+	// the resource, all of them in the affected subgraph by definition —
+	// so incidences need not be counted during the walk, and the fill
+	// key residual/count is already final here: resources join the
+	// bottleneck heap at discovery.
+	m := 0
+	for _, r := range s.dirty {
+		r.dirty = false
+		if r.visit != ep {
+			r.visit = ep
+			r.residual = r.capacity
+			r.count = len(r.members)
+			r.load = 0
+			m += r.count
+			queue = append(queue, r)
+			if r.count > 0 {
+				h = append(h, bnEntry{share: r.residual / float64(r.count), r: r})
+			}
+		}
+	}
+	s.dirty = s.dirty[:0]
+	if m >= len(active) {
+		// Dense sweep. No visit-marking of transfers: the active list
+		// holds each exactly once.
+		for _, t := range active {
+			// Integrate under the outgoing rate before it is replaced.
+			if dt := now - t.last; dt > 0 {
+				t.remaining -= t.rate * dt
+				if t.remaining < 0 {
+					t.remaining = 0
+				}
+			}
+			t.last = now
+			t.fixed = false
+			t.prevRate = t.rate
+			flows = append(flows, t)
+			for _, r := range t.resources {
+				if r.visit != ep {
+					r.visit = ep
+					r.residual = r.capacity
+					r.count = len(r.members)
+					r.load = 0
+					h = append(h, bnEntry{share: r.residual / float64(r.count), r: r})
+				}
+			}
+		}
+	} else {
+		for i := 0; i < len(queue); i++ {
+			for _, t := range queue[i].members {
+				if t.visit == ep {
+					continue
+				}
+				t.visit = ep
+				// Integrate under the outgoing rate before it is replaced.
+				if dt := now - t.last; dt > 0 {
+					t.remaining -= t.rate * dt
+					if t.remaining < 0 {
+						t.remaining = 0
+					}
+				}
+				t.last = now
+				t.fixed = false
+				t.prevRate = t.rate
+				flows = append(flows, t)
+				for _, r := range t.resources {
+					if r.visit != ep {
+						r.visit = ep
+						r.residual = r.capacity
+						r.count = len(r.members)
+						r.load = 0
+						queue = append(queue, r)
+						h = append(h, bnEntry{share: r.residual / float64(r.count), r: r})
+					}
+				}
+			}
+		}
+	}
+	// Entries were appended unordered; Floyd-heapify bottom-up in O(n).
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		bnDown(h, i)
+	}
+	unfixed := len(flows)
+	for unfixed > 0 {
+		if len(h) == 0 {
+			panic("flow: unfixed transfers with no remaining resources")
+		}
+		e := h[0]
+		h = bnPop(h)
+		r := e.r
+		if r.count <= 0 {
+			continue
+		}
+		cur := r.residual / float64(r.count)
+		if cur > e.share {
+			// Stale-low entry: shares only rise as flows are fixed.
+			h = bnPush(h, bnEntry{share: cur, r: r})
+			continue
+		}
+		if cur < 0 {
+			cur = 0
+		}
+		for _, t := range r.members {
+			if t.fixed {
+				continue
+			}
+			t.rate = cur
+			t.fixed = true
+			unfixed--
+			for _, rr := range t.resources {
+				rr.residual -= cur
+				if rr.residual < 0 {
+					rr.residual = 0
+				}
+				rr.count--
+				rr.load += cur
+			}
+		}
+	}
+	s.bn = h[:0]
+	s.queue = queue[:0]
+	s.flows = flows
+	return flows
+}

@@ -7,14 +7,25 @@ import (
 	"ec2wfsim/internal/sim"
 )
 
-// FuzzReallocate is the incremental solver's correctness rail: it decodes
-// a random event script (blocking transfers, batched fan-outs with pooled
-// window caps, capacity changes, load probes, all at fuzzed times over a
-// fuzzed resource set) and drives it through both the real Net and the
-// from-scratch oracle preserved in oracle_test.go. Every completion
-// timestamp, every probed load, the final clock and the byte totals must
-// match bit for bit — the same discipline the golden file enforces at
-// paper scale, exercised here over shapes the applications never form.
+// FuzzReallocate is the solvers' correctness rail: it decodes a random
+// event script (blocking transfers, batched fan-outs with pooled window
+// caps, capacity changes, load probes, all at fuzzed times over a fuzzed
+// resource set) and drives it through the from-scratch oracle preserved
+// in oracle_test.go and both versioned solvers. The comparison is
+// three-way with two distinct contracts:
+//
+//   - oracle ≡ v1, bit for bit: every completion timestamp, every probed
+//     load, the final clock and the byte totals — the same discipline the
+//     golden file enforces at paper scale.
+//
+//   - oracle ≈ v2, within a stated per-timestamp tolerance: v2's
+//     coalesced solves and heap tie-breaks reorder float arithmetic, and
+//     its per-component completion checks can resolve a transfer that is
+//     within completionEps of done up to "the time the fair share moves
+//     half a byte" away from where v1's global sweep resolves it (see
+//     script.timeSlack). Conservation is still exact: identical byte and
+//     transfer totals, every op completes on both sides, and every
+//     resource drains to exactly zero residual load.
 
 // script is one decoded fuzz scenario.
 type script struct {
@@ -93,10 +104,67 @@ func decodeScript(data []byte) *script {
 	return s
 }
 
-// trace is everything a run observes; two runs compare traces bit-exactly.
+// expectedTotals computes the byte and transfer totals the script must
+// produce from the script alone (sizes are exact binary quarters, so the
+// sum is exact): the oracle-free conservation anchor for v2.
+func (s *script) expectedTotals() (bytes float64, count int64) {
+	for _, op := range s.ops {
+		switch op.kind {
+		case 0:
+			bytes += op.size
+			count++
+		case 1:
+			bytes += op.size * float64(len(op.shards))
+			count += int64(len(op.shards))
+		}
+	}
+	return bytes, count
+}
+
+// timeSlack bounds how far a v2 completion timestamp may drift from the
+// oracle's. Both modes complete a transfer somewhere inside the window
+// where under completionEps bytes remain; v1 resolves it at the first
+// global timer event in that window, v2 at the first event touching its
+// component. The window lasts at most completionEps divided by the
+// slowest possible fair share (every transfer contending on the smallest
+// capacity in the script), and a drifted departure perturbs its
+// neighbours' rates for at most that long again — hence the small
+// constant headroom on top of the single-window bound.
+func (s *script) timeSlack() float64 {
+	minCap := s.caps[0]
+	for _, c := range s.caps {
+		if c < minCap {
+			minCap = c
+		}
+	}
+	n := 0
+	for _, op := range s.ops {
+		switch op.kind {
+		case 0:
+			n++
+		case 1:
+			n += len(op.shards)
+			if op.capRt > 0 && op.capRt < minCap {
+				minCap = op.capRt
+			}
+		case 2:
+			if op.capVal < minCap {
+				minCap = op.capVal
+			}
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return 4 * completionEps * float64(n) / minCap
+}
+
+// trace is everything a run observes; same-version runs compare traces
+// bit-exactly, cross-version runs per the contracts above.
 type trace struct {
 	completions []float64 // per transfer/fan-out op, completion time
 	probes      []float64 // per probe op, active count then per-resource loads
+	finalLoads  []float64 // per resource, committed load after the run drains
 	end         float64
 	totalBytes  float64
 	totalCount  int64
@@ -115,26 +183,55 @@ type flowDriver interface {
 type realDriver struct {
 	n  *Net
 	rs []*Resource
+
+	// pickBuf is reused across ops: Transfer and Batch.Add copy the
+	// resource list into the transfer record before returning, so the
+	// scratch is dead by the time the next op runs.
+	pickBuf []*Resource
 }
 
 func newRealDriver(e *sim.Engine, caps []float64) *realDriver {
-	d := &realDriver{n: NewNet(e)}
+	return newRealDriverV(e, caps, 1)
+}
+
+// resNames is precomputed so the benchmark shapes do not charge a
+// Sprintf per resource per iteration to both drivers' setup (a constant
+// added to each mode's ns/op that dilutes their ratio). Sized for the
+// largest shape (scale1000: 3000 resources); read-only after init, so
+// parallel subtests share it safely.
+var resNames = func() []string {
+	ns := make([]string, 3072)
+	for i := range ns {
+		ns[i] = fmt.Sprintf("r%d", i)
+	}
+	return ns
+}()
+
+func resName(i int) string {
+	if i < len(resNames) {
+		return resNames[i]
+	}
+	return fmt.Sprintf("r%d", i)
+}
+
+func newRealDriverV(e *sim.Engine, caps []float64, version int) *realDriver {
+	d := &realDriver{n: NewNetVersion(e, version), rs: make([]*Resource, 0, len(caps))}
 	for i, c := range caps {
-		d.rs = append(d.rs, NewResource(fmt.Sprintf("r%d", i), c))
+		d.rs = append(d.rs, NewResource(resName(i), c))
 	}
 	return d
 }
 
-func (d *realDriver) pick(idxs []int) []*Resource {
-	rs := make([]*Resource, len(idxs))
-	for i, idx := range idxs {
-		rs[i] = d.rs[idx]
+func (d *realDriver) pick(base []*Resource, idxs []int) []*Resource {
+	for _, idx := range idxs {
+		base = append(base, d.rs[idx])
 	}
-	return rs
+	return base
 }
 
 func (d *realDriver) transfer(p *sim.Proc, size float64, res []int) {
-	d.n.Transfer(p, size, d.pick(res)...)
+	d.pickBuf = d.pick(d.pickBuf[:0], res)
+	d.n.Transfer(p, size, d.pickBuf...)
 }
 
 func (d *realDriver) fanout(p *sim.Proc, size float64, shards [][]int, capRate float64) {
@@ -144,11 +241,12 @@ func (d *realDriver) fanout(p *sim.Proc, size float64, shards [][]int, capRate f
 	}
 	b := d.n.NewBatch()
 	for _, sh := range shards {
-		var rs []*Resource
+		rs := d.pickBuf[:0]
 		if cap != nil {
 			rs = append(rs, cap)
 		}
-		rs = append(rs, d.pick(sh)...)
+		rs = d.pick(rs, sh)
+		d.pickBuf = rs
 		b.Add(size, rs...)
 	}
 	b.Run(p)
@@ -158,9 +256,12 @@ func (d *realDriver) fanout(p *sim.Proc, size float64, shards [][]int, capRate f
 }
 
 func (d *realDriver) setCapacity(idx int, c float64) { d.n.SetResourceCapacity(d.rs[idx], c) }
-func (d *realDriver) load(idx int) float64           { return d.rs[idx].Load() }
-func (d *realDriver) activeCount() int               { return d.n.Active() }
-func (d *realDriver) totals() (float64, int64)       { return d.n.TotalBytes, d.n.TotalTransfers }
+
+// load and activeCount Sync first so probes observe the rates in effect
+// at the probe's own timestamp under v2's deferred solves (a no-op on v1).
+func (d *realDriver) load(idx int) float64     { d.n.Sync(); return d.rs[idx].Load() }
+func (d *realDriver) activeCount() int         { d.n.Sync(); return d.n.Active() }
+func (d *realDriver) totals() (float64, int64) { return d.n.TotalBytes, d.n.TotalTransfers }
 
 type oracleDriver struct {
 	n  *oracleNet
@@ -168,9 +269,9 @@ type oracleDriver struct {
 }
 
 func newOracleDriver(e *sim.Engine, caps []float64) *oracleDriver {
-	d := &oracleDriver{n: newOracleNet(e)}
+	d := &oracleDriver{n: newOracleNet(e), rs: make([]*oracleResource, 0, len(caps))}
 	for i, c := range caps {
-		d.rs = append(d.rs, newOracleResource(fmt.Sprintf("r%d", i), c))
+		d.rs = append(d.rs, newOracleResource(resName(i), c))
 	}
 	return d
 }
@@ -255,6 +356,9 @@ func runScript(s *script, build func(e *sim.Engine, caps []float64) flowDriver) 
 	e.Run()
 	tr.end = e.Now()
 	tr.totalBytes, tr.totalCount = d.totals()
+	for idx := range s.caps {
+		tr.finalLoads = append(tr.finalLoads, d.load(idx))
+	}
 	return tr
 }
 
@@ -265,27 +369,140 @@ func FuzzReallocate(f *testing.F) {
 	f.Add([]byte{1, 1, 4, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := decodeScript(data)
-		got := runScript(s, func(e *sim.Engine, caps []float64) flowDriver { return newRealDriver(e, caps) })
 		want := runScript(s, func(e *sim.Engine, caps []float64) flowDriver { return newOracleDriver(e, caps) })
-		if got.end != want.end {
-			t.Fatalf("makespan diverged: incremental %v, oracle %v", got.end, want.end)
+		v1 := runScript(s, func(e *sim.Engine, caps []float64) flowDriver { return newRealDriverV(e, caps, 1) })
+		compareExact(t, "incremental", v1, want, s)
+		v2 := runScript(s, func(e *sim.Engine, caps []float64) flowDriver { return newRealDriverV(e, caps, 2) })
+		compareV2(t, v2, want, s)
+	})
+}
+
+// compareExact is the v1 contract: bit-identical to the oracle.
+func compareExact(t *testing.T, label string, got, want *trace, s *script) {
+	t.Helper()
+	if got.end != want.end {
+		t.Fatalf("makespan diverged: %s %v, oracle %v", label, got.end, want.end)
+	}
+	if got.totalBytes != want.totalBytes || got.totalCount != want.totalCount {
+		t.Fatalf("totals diverged: %s (%v, %d), oracle (%v, %d)",
+			label, got.totalBytes, got.totalCount, want.totalBytes, want.totalCount)
+	}
+	for i := range got.completions {
+		if got.completions[i] != want.completions[i] {
+			t.Fatalf("op %d completion diverged: %s %v, oracle %v (script %+v)",
+				i, label, got.completions[i], want.completions[i], s.ops[i])
 		}
-		if got.totalBytes != want.totalBytes || got.totalCount != want.totalCount {
-			t.Fatalf("totals diverged: incremental (%v, %d), oracle (%v, %d)",
-				got.totalBytes, got.totalCount, want.totalBytes, want.totalCount)
+	}
+	if len(got.probes) != len(want.probes) {
+		t.Fatalf("probe count diverged: %d vs %d", len(got.probes), len(want.probes))
+	}
+	for i := range got.probes {
+		if got.probes[i] != want.probes[i] {
+			t.Fatalf("probe %d diverged: %s %v, oracle %v", i, label, got.probes[i], want.probes[i])
 		}
-		for i := range got.completions {
-			if got.completions[i] != want.completions[i] {
-				t.Fatalf("op %d completion diverged: incremental %v, oracle %v (script %+v)",
-					i, got.completions[i], want.completions[i], s.ops[i])
+	}
+	for i := range got.finalLoads {
+		if got.finalLoads[i] != want.finalLoads[i] {
+			t.Fatalf("final load of r%d diverged: %s %v, oracle %v", i, label, got.finalLoads[i], want.finalLoads[i])
+		}
+	}
+}
+
+// timeClose is the v2 per-timestamp tolerance: float-noise relative error
+// from reordered arithmetic, plus the script's completion-window slack.
+func timeClose(a, b, slack float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return diff <= slack+1e-9*(1+scale)
+}
+
+// compareV2 is the v2 contract: timestamps within tolerance, exact
+// conservation (totals, completion coverage, drained final loads).
+func compareV2(t *testing.T, got, want *trace, s *script) {
+	t.Helper()
+	slack := s.timeSlack()
+	if !timeClose(got.end, want.end, slack) {
+		t.Fatalf("makespan diverged beyond slack %g: v2 %v, oracle %v", slack, got.end, want.end)
+	}
+	if got.totalBytes != want.totalBytes || got.totalCount != want.totalCount {
+		t.Fatalf("totals diverged: v2 (%v, %d), oracle (%v, %d)",
+			got.totalBytes, got.totalCount, want.totalBytes, want.totalCount)
+	}
+	for i := range got.completions {
+		a, b := got.completions[i], want.completions[i]
+		if (a < 0) != (b < 0) {
+			t.Fatalf("op %d completed on one side only: v2 %v, oracle %v", i, a, b)
+		}
+		if a >= 0 && !timeClose(a, b, slack) {
+			t.Fatalf("op %d completion diverged beyond slack %g: v2 %v, oracle %v (script %+v)",
+				i, slack, a, b, s.ops[i])
+		}
+	}
+	if len(got.probes) != len(want.probes) {
+		t.Fatalf("probe count diverged: %d vs %d", len(got.probes), len(want.probes))
+	}
+	// Probed loads are only comparable when both sides carry the same
+	// transfer population: a near-completionEps transfer can be resolved
+	// on one side and still draining on the other at the probe's
+	// timestamp, which shifts every rate in its component.
+	stride := 1 + len(s.caps)
+	for p := 0; p+stride <= len(got.probes); p += stride {
+		if got.probes[p] != want.probes[p] {
+			continue
+		}
+		for k := 1; k < stride; k++ {
+			if !timeClose(got.probes[p+k], want.probes[p+k], 0) {
+				t.Fatalf("probe %d load r%d diverged: v2 %v, oracle %v",
+					p/stride, k-1, got.probes[p+k], want.probes[p+k])
 			}
 		}
-		if len(got.probes) != len(want.probes) {
-			t.Fatalf("probe count diverged: %d vs %d", len(got.probes), len(want.probes))
+	}
+	for i, ld := range got.finalLoads {
+		if ld != 0 {
+			t.Fatalf("v2 left residual load %g on r%d after the run drained, want exactly 0", ld, i)
 		}
-		for i := range got.probes {
-			if got.probes[i] != want.probes[i] {
-				t.Fatalf("probe %d diverged: incremental %v, oracle %v", i, got.probes[i], want.probes[i])
+	}
+}
+
+// FuzzV2Invariants is the oracle-free v2 rail, cheap enough for a CI
+// smoke: the same script space, run only on v2, checking what must hold
+// without reference to any other implementation — byte/transfer totals
+// computed from the script, every transfer op completing no earlier than
+// it started, a fully drained graph, and bit-identical determinism
+// across two runs.
+func FuzzV2Invariants(f *testing.F) {
+	f.Add([]byte{3, 10, 200, 50, 8, 0, 0, 1, 3, 0, 1, 2, 7, 100, 4, 2, 0, 40, 0, 3})
+	f.Add([]byte{2, 90, 90, 6, 0, 1, 80, 3, 3, 3, 1, 0, 2, 1, 7, 0, 3})
+	f.Add([]byte{5, 5, 255, 120, 60, 30, 12, 8, 1, 200, 2, 31, 31, 1, 99, 0, 0, 1, 3, 3, 2, 4, 250})
+	f.Add([]byte{1, 1, 4, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := decodeScript(data)
+		build := func(e *sim.Engine, caps []float64) flowDriver { return newRealDriverV(e, caps, 2) }
+		got := runScript(s, build)
+		again := runScript(s, build)
+		compareExact(t, "re-run", again, got, s)
+		wantBytes, wantCount := s.expectedTotals()
+		if got.totalBytes != wantBytes || got.totalCount != wantCount {
+			t.Fatalf("totals diverged from script: v2 (%v, %d), script (%v, %d)",
+				got.totalBytes, got.totalCount, wantBytes, wantCount)
+		}
+		for i, op := range s.ops {
+			if op.kind > 1 {
+				continue
+			}
+			if got.completions[i] < op.at {
+				t.Fatalf("op %d (start %v) completed at %v", i, op.at, got.completions[i])
+			}
+		}
+		for i, ld := range got.finalLoads {
+			if ld != 0 {
+				t.Fatalf("residual load %g on r%d after the run drained", ld, i)
 			}
 		}
 	})

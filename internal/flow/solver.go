@@ -38,6 +38,9 @@ type solver struct {
 	queue []*Resource
 	flows []*transfer
 	res   []*Resource
+
+	// bn is solveV2's bottleneck-heap scratch (unused by v1).
+	bn []bnEntry
 }
 
 // markDirty adds r to the dirty set for the next solve.

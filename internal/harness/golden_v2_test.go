@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The v2 golden file pins the paper numbers as computed under the
+// coalescing flow solver (scenario flow_version 2). v2 is not
+// bit-identical to v1 — deferred same-timestamp solves reorder float
+// arithmetic within the solver's tolerance contract — so it gets its
+// own pinned file rather than sharing testdata/golden.json, and this
+// test is what notices if a v2 refactor drifts a makespan. The file
+// regenerates deliberately with:
+//
+//	go test ./internal/harness -run TestGoldenV2 -update-golden
+
+type goldenV2Data struct {
+	MontageGrid []goldenCell        `json:"montage_grid"`
+	Failure     []goldenFailureCell `json:"failure_ablation"`
+	Outage      []goldenOutageCell  `json:"outage_ablation"`
+}
+
+func collectGoldenV2(t *testing.T) goldenV2Data {
+	t.Helper()
+	var g goldenV2Data
+	cfgs := GridConfigs("montage")
+	for i := range cfgs {
+		cfgs[i].FlowVersion = 2
+	}
+	results, err := Sweep(cfgs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		g.MontageGrid = append(g.MontageGrid, goldenCell{
+			Label:      fmt.Sprintf("%s/%d", cfgs[i].Storage, cfgs[i].Workers),
+			Makespan:   r.Makespan,
+			CostHour:   r.CostHour.Total(),
+			CostSecond: r.CostSecond.Total(),
+		})
+	}
+	// The injection subsystems exercise the solver differently (outage
+	// kills detach in-flight transfers mid-stream), so one failure row
+	// and one outage row pin those paths under v2 as well.
+	for _, rate := range []float64{0, 0.1} {
+		r, err := RunCached(RunConfig{
+			App: "montage", Storage: "pvfs",
+			Workers: DefaultFailureStudyWorkers, FailureRate: rate,
+			FlowVersion: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Failure = append(g.Failure, goldenFailureCell{
+			Label:      fmt.Sprintf("montage/pvfs r=%g flow=2", rate),
+			Makespan:   r.Makespan,
+			CostSecond: r.CostSecond.Total(),
+			Failures:   r.Failures,
+			Retries:    r.Retries,
+		})
+	}
+	for _, rate := range []float64{0, 1} {
+		r, err := RunCached(RunConfig{
+			App: "montage", Storage: "pvfs",
+			Workers: DefaultOutageStudyWorkers, OutageRate: rate,
+			CheckpointInterval: DefaultOutageStudyCheckpoint,
+			FlowVersion:        2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Outage = append(g.Outage, goldenOutageCell{
+			Label:       fmt.Sprintf("montage/pvfs out=%g +ckpt flow=2", rate),
+			Makespan:    r.Makespan,
+			CostSecond:  r.CostSecond.Total(),
+			Outages:     r.Outages,
+			OutageKills: r.OutageKills,
+			Checkpoints: r.Checkpoints,
+			LostWork:    r.LostWorkSeconds,
+		})
+	}
+	return g
+}
+
+// TestGoldenV2PaperNumbers is the v2 counterpart of
+// TestGoldenPaperNumbers: exact float64 comparison against the pinned
+// file (the simulator is deterministic under either solver version),
+// plus a cross-version sanity bound — v2 makespans must stay within 1%
+// of the v1 grid, which catches a v2 bug large enough to change the
+// paper's conclusions even when the pinned file is being regenerated.
+func TestGoldenV2PaperNumbers(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale grid")
+	}
+	got := collectGoldenV2(t)
+
+	v1cells, err := Grid("montage", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1cells) != len(got.MontageGrid) {
+		t.Fatalf("v1 grid has %d cells, v2 grid %d", len(v1cells), len(got.MontageGrid))
+	}
+	for i, c := range v1cells {
+		v1, v2 := c.Result.Makespan, got.MontageGrid[i].Makespan
+		if diff := v2 - v1; diff > 0.01*v1 || diff < -0.01*v1 {
+			t.Errorf("cell %s: v2 makespan %.3f diverges from v1 %.3f beyond 1%%",
+				got.MontageGrid[i].Label, v2, v1)
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_v2.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading v2 golden file (run with -update-golden to create): %v", err)
+	}
+	var want goldenV2Data
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	compareCells(t, "montage grid (v2)", got.MontageGrid, want.MontageGrid)
+	if len(got.Failure) != len(want.Failure) {
+		t.Errorf("failure ablation: %d cells, golden has %d", len(got.Failure), len(want.Failure))
+	} else {
+		for i := range want.Failure {
+			if got.Failure[i] != want.Failure[i] {
+				t.Errorf("failure cell %s drifted:\n got: %+v\nwant: %+v",
+					want.Failure[i].Label, got.Failure[i], want.Failure[i])
+			}
+		}
+	}
+	if len(got.Outage) != len(want.Outage) {
+		t.Errorf("outage ablation: %d cells, golden has %d", len(got.Outage), len(want.Outage))
+	} else {
+		for i := range want.Outage {
+			if got.Outage[i] != want.Outage[i] {
+				t.Errorf("outage cell %s drifted:\n got: %+v\nwant: %+v",
+					want.Outage[i].Label, got.Outage[i], want.Outage[i])
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/cluster"
 	"ec2wfsim/internal/cost"
@@ -74,6 +76,11 @@ type RunConfig struct {
 	// outage kill (wms.Options.CheckpointInterval). Zero disables it.
 	CheckpointInterval float64
 
+	// FlowVersion selects the flow-solver implementation (see
+	// flow.NewNetVersion): 0 or 1 is the default incremental solver, 2
+	// the coalescing bottleneck-heap solver.
+	FlowVersion int
+
 	// transient marks a derived replicate (SweepSeeds, rep > 0): its
 	// hashed seeds are never requested again, so caching the result and
 	// its per-seed DAG would only retain memory for the process
@@ -102,6 +109,7 @@ func (cfg RunConfig) Spec() scenario.Spec {
 		OutageDuration:     cfg.OutageDuration,
 		OutageSeed:         cfg.OutageSeed,
 		CheckpointInterval: cfg.CheckpointInterval,
+		FlowVersion:        cfg.FlowVersion,
 	}
 }
 
@@ -124,6 +132,7 @@ func SpecConfig(s scenario.Spec) RunConfig {
 		OutageDuration:     s.OutageDuration,
 		OutageSeed:         s.OutageSeed,
 		CheckpointInterval: s.CheckpointInterval,
+		FlowVersion:        s.FlowVersion,
 	}
 }
 
@@ -212,8 +221,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FlowVersion < 0 || cfg.FlowVersion > 2 {
+		return nil, fmt.Errorf("harness: flow version must be 0 (default), 1 or 2 (got %d)", cfg.FlowVersion)
+	}
 	e := sim.NewEngine()
-	net := flow.NewNet(e)
+	net := flow.NewNetVersion(e, cfg.FlowVersion)
 	c, err := cluster.New(e, net, rng.New(seed), cluster.Config{
 		Workers:         cfg.Workers,
 		WorkerType:      workerType,

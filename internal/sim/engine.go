@@ -19,7 +19,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -34,24 +33,58 @@ type event struct {
 	gen uint64
 }
 
-// eventHeap is a min-heap ordered by (time, sequence).
+// eventHeap is a min-heap ordered by (time, sequence). The sift
+// routines are open-coded (rather than container/heap over an
+// interface) because every simulated event pays for one push and one
+// pop: the comparisons inline and the boxing disappears. The algorithms
+// match container/heap exactly, so the heap layout — and therefore the
+// order of equal-time events — is unchanged.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (e *Engine) pushEvent(ev *event) {
+	h := append(e.events, ev)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !eventLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	e.events = h
+}
+
+func (e *Engine) popEvent() *event {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && eventLess(h[r], h[j]) {
+			j = r
+		}
+		if !eventLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e.events = h
 	return ev
 }
 
@@ -94,7 +127,7 @@ func (e *Engine) schedule(t float64, fn func()) *event {
 	} else {
 		ev = &event{at: t, seq: e.seq, fn: fn}
 	}
-	heap.Push(&e.events, ev)
+	e.pushEvent(ev)
 	return ev
 }
 
@@ -187,7 +220,7 @@ func (e *Engine) Pending() int {
 // empty.
 func (e *Engine) step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.popEvent()
 		if ev.fn == nil {
 			e.recycle(ev) // cancelled
 			continue
@@ -225,7 +258,7 @@ func (e *Engine) RunUntil(t float64) bool {
 	for len(e.events) > 0 {
 		// Peek at the next live event.
 		if e.events[0].fn == nil {
-			e.recycle(heap.Pop(&e.events).(*event))
+			e.recycle(e.popEvent())
 			continue
 		}
 		if e.events[0].at > t {
