@@ -1,0 +1,26 @@
+# Developer entry points; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+WFVET := /tmp/wfvet
+
+.PHONY: build test lint fmt rules
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Determinism lint: gofmt diff check, standard vet, then the wfvet
+# analyzer suite through the go vet driver (exit 2 on findings).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	go vet ./...
+	go build -o $(WFVET) ./cmd/wfvet
+	go vet -vettool=$(WFVET) ./...
+
+fmt:
+	gofmt -w .
+
+rules:
+	go run ./cmd/wfvet -rules

@@ -1,0 +1,74 @@
+// Command wfvet is the determinism-lint suite for this repository: a
+// multichecker that mechanically enforces the simulator's bit-identical
+// contract (no wall clocks or raw math/rand in sim packages, no
+// order-sensitive map iteration, no ad-hoc seeds, no host-scheduler
+// concurrency in the event loop).
+//
+// Usage:
+//
+//	wfvet [packages]              analyze packages (default ./...)
+//	wfvet -rules                  print the rule catalog
+//	go vet -vettool=$(which wfvet) ./...
+//
+// As a vettool it speaks the go command's unit-checking protocol, so
+// `go vet` drives it with precomputed file lists and export data. The
+// standalone form shells out to `go list` and needs only the toolchain.
+//
+// Exit status: 0 clean, 1 operational error, 2 findings. Suppress a
+// finding with `//wfvet:ignore <analyzer> <reason>` on (or directly
+// above) the offending line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/driver"
+)
+
+func main() {
+	rules := analysis.Rules()
+
+	// Vettool protocol first: `go vet` probes with -V=full / -flags
+	// and then passes a single vet.cfg path, none of which should hit
+	// the flag package's error handling.
+	if code, handled := driver.RunVettool(os.Args[1:], rules); handled {
+		os.Exit(code)
+	}
+
+	printRules := flag.Bool("rules", false, "print the determinism rule catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: wfvet [-rules] [packages]\n       go vet -vettool=$(which wfvet) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *printRules {
+		printCatalog(rules)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.Run(os.Stderr, ".", patterns, rules)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+		os.Exit(1)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "wfvet: %d finding(s)\n", findings)
+		os.Exit(2)
+	}
+}
+
+func printCatalog(rules []*analysis.Analyzer) {
+	fmt.Println("wfvet — determinism rules (suppress with //wfvet:ignore <analyzer> <reason>)")
+	for _, a := range rules {
+		fmt.Printf("\n%s\n    %s\n    why: %s\n", a.Name, a.Doc, a.Why)
+	}
+}

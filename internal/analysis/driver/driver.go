@@ -1,0 +1,245 @@
+// Package driver loads, type-checks and analyzes packages for wfvet.
+//
+// It supports two modes sharing one analysis core:
+//
+//   - Standalone: `wfvet ./...` shells out to `go list -deps -export`
+//     to enumerate packages and obtain export data for their imports,
+//     then parses and type-checks each target from source. This is the
+//     `make lint` entry point and needs nothing but the go toolchain.
+//
+//   - Vettool: `go vet -vettool=wfvet ./...` hands the tool one
+//     vet.cfg JSON per package (see unitchecker.go); the go command has
+//     already computed file lists and export data, including for test
+//     variants.
+//
+// Both modes resolve imports from compiler export data via the standard
+// library's gc importer — the same reader the compiler itself uses — so
+// no third-party loader is required.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ec2wfsim/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Match      []string // patterns this package matched (targets only)
+	Module     *struct{ Path string }
+}
+
+// Load enumerates the packages matching patterns (plus their deps, for
+// export data) by invoking `go list` in dir.
+func Load(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Standard,Export,GoFiles,Match,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer resolving import paths via
+// the given map of package path -> export data file. The importer
+// caches packages across calls, so one instance should be shared by all
+// type-checks in a run.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// typeCheck parses and type-checks one package from source. Test files
+// (*_test.go) are excluded: the determinism contract binds simulation
+// code; tests legitimately use goroutines, wall clocks and literal
+// seeds to exercise it.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, goFiles []string) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	return &analysis.Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Run analyzes every module package matching patterns and writes
+// findings to w as file:line:col lines. It returns the number of
+// findings; a non-nil error means the analysis itself could not run.
+func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	var targets []*listPackage
+	for _, p := range pkgs {
+		exports[p.ImportPath] = p.Export
+		if len(p.Match) > 0 && !p.Standard && p.Module != nil && p.Module.Path == analysis.ModulePath {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	findings := 0
+	for _, p := range targets {
+		if skipPath(p.ImportPath) {
+			continue
+		}
+		// go list reports file names relative to the package directory.
+		names := make([]string, len(p.GoFiles))
+		for i, n := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, n)
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, names)
+		if err != nil {
+			return findings, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		if pkg == nil {
+			continue
+		}
+		findings += report(w, fset, analysis.RunPackage(pkg, analyzers))
+	}
+	return findings, nil
+}
+
+// skipPath excludes the lint suite itself and fixture trees from
+// analysis: the analyzers and their testdata intentionally spell out
+// the very patterns the rules hunt for.
+func skipPath(pkgPath string) bool {
+	p := strings.TrimPrefix(pkgPath, analysis.ModulePath+"/")
+	return p == "internal/analysis" ||
+		strings.HasPrefix(p, "internal/analysis/") ||
+		strings.Contains(p, "testdata")
+}
+
+// report writes diagnostics in the canonical file:line:col form used by
+// go vet, returning how many were written.
+func report(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) int {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	return len(diags)
+}
+
+// LoadExports resolves the given import paths (plus all their
+// dependencies) to export-data files via `go list -deps -export`,
+// returning a package-path -> file map for ExportImporter. It exists
+// for the analysistest harness, which type-checks fixture packages
+// whose imports (stdlib and module) need real type information.
+func LoadExports(dir string, importPaths []string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	pkgs, err := Load(dir, importPaths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		exports[p.ImportPath] = p.Export
+	}
+	return exports, nil
+}
+
+// ExportImporter exposes the export-data importer for the test harness;
+// see exportImporter.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return exportImporter(fset, exports)
+}
+
+// TypeCheckFiles type-checks already-parsed files as package pkgPath,
+// producing the analysis view of the package. All files must come from
+// fset. Unlike the internal path, the caller controls file selection.
+func TypeCheckFiles(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*analysis.Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	return &analysis.Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

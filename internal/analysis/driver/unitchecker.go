@@ -1,0 +1,138 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"ec2wfsim/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes for `go vet
+// -vettool` tools (cmd/go/internal/work.vetConfig). The go command
+// invokes the tool once per package as `wfvet <flags> <dir>/vet.cfg`,
+// after two handshake calls: `wfvet -V=full` (version/build ID) and
+// `wfvet -flags` (supported-flag catalog, JSON).
+type vetConfig struct {
+	ID           string   // package ID, e.g. "fmt [fmt.test]"
+	Compiler     string   // "gc"
+	Dir          string   // package directory
+	ImportPath   string   // canonical import path
+	GoFiles      []string // absolute paths of Go sources
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string // source import path -> canonical package path
+	PackageFile   map[string]string // package path -> export data file
+	Standard      map[string]bool
+	PackageVetx   map[string]string // unused: wfvet computes no facts
+	VetxOnly      bool              // dependency pass: only facts wanted
+	VetxOutput    string            // file the tool must write (even if empty)
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Version is the string printed for the `-V=full` handshake. The go
+// command requires `<tool> version <non-devel-id>` and uses the line
+// verbatim as the tool's build ID, so bump the suffix when analyzer
+// semantics change to invalidate go vet's action cache.
+const Version = "wfvet version go1-wfvet-1"
+
+// RunVettool implements the vet driver protocol for args (os.Args[1:]).
+// It reports (handled=false) when args do not look like a vettool
+// invocation, so the caller can fall back to standalone mode.
+func RunVettool(args []string, analyzers []*analysis.Analyzer) (exitCode int, handled bool) {
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Println(Version)
+		return 0, true
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No tool-specific flags: an empty catalog tells the go
+		// command to reject any extra vet flags up front.
+		fmt.Println("[]")
+		return 0, true
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		return 0, false
+	}
+	code, err := checkConfig(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+		return 1, true
+	}
+	return code, true
+}
+
+func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The go command caches the vetx file as this package's vet
+	// output; it must exist even though wfvet computes no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("wfvet: no facts\n"), 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly || !analyzable(cfg) {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, resolveImports(cfg))
+	pkg, err := typeCheck(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("%s: %v", cfg.ImportPath, err)
+	}
+	if pkg == nil {
+		return 0, nil
+	}
+	if n := report(os.Stderr, fset, analysis.RunPackage(pkg, analyzers)); n > 0 {
+		// Mirror the standard vet tool: diagnostics exit 2, so the go
+		// command fails the build and relays stderr.
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// analyzable reports whether the package described by cfg is one wfvet
+// lints: a non-test package of this module, outside the lint suite
+// itself. Test variants ("pkg [pkg.test]", "pkg.test", "pkg_test")
+// are exempt from the determinism contract.
+func analyzable(cfg vetConfig) bool {
+	if strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return false
+	}
+	if cfg.ModulePath != analysis.ModulePath {
+		return false
+	}
+	return !skipPath(cfg.ImportPath)
+}
+
+// resolveImports flattens cfg's ImportMap/PackageFile pair into one
+// source-path -> export-file map for the gc importer.
+func resolveImports(cfg vetConfig) map[string]string {
+	out := make(map[string]string, len(cfg.ImportMap))
+	for src, canonical := range cfg.ImportMap {
+		out[src] = cfg.PackageFile[canonical]
+	}
+	for path, file := range cfg.PackageFile {
+		if _, ok := out[path]; !ok {
+			out[path] = file
+		}
+	}
+	return out
+}

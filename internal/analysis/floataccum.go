@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatAccum flags order-sensitive floating-point reduction over map
+// iteration. Float addition and multiplication are commutative but not
+// associative: summing the same values in a different order changes the
+// rounding of every intermediate result, so a total accumulated in map
+// order differs in its low bits from run to run — enough to break
+// bit-identical goldens while passing any tolerance eyeballing.
+var FloatAccum = &Analyzer{
+	Name: "floataccum",
+	Doc:  "flag floating-point accumulation in nondeterministic (map) iteration order",
+	Why: "float reduction is not associative: accumulating in map order perturbs " +
+		"rounding run to run, so makespans/costs summed that way are not bit-stable. " +
+		"Iterate sorted keys (or reduce into per-key slots and combine in a fixed order).",
+	Run: runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.Info, rs.X) {
+				return true
+			}
+			checkFloatAccum(pass, rs)
+			return true
+		})
+	}
+}
+
+func checkFloatAccum(pass *Pass, rs *ast.RangeStmt) {
+	lo, hi := rs.Pos(), rs.End()
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			reportFloatTarget(pass, st, st.Lhs[0], lo, hi)
+		case token.ASSIGN:
+			// x = x + v (and friends) — a reduction spelled longhand.
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				obj := rootObj(pass.Info, lhs)
+				if obj == nil || !exprUsesObj(pass.Info, st.Rhs[i], obj) {
+					continue
+				}
+				reportFloatTarget(pass, st, lhs, lo, hi)
+			}
+		}
+		return true
+	})
+}
+
+func reportFloatTarget(pass *Pass, st *ast.AssignStmt, lhs ast.Expr, lo, hi token.Pos) {
+	if !isFloat(basicKind(pass.Info, lhs)) {
+		return
+	}
+	obj := rootObj(pass.Info, lhs)
+	if !declaredOutside(obj, lo, hi) {
+		return
+	}
+	pass.Reportf(st.Pos(),
+		"floating-point accumulation into %s in map iteration order: float reduction is not associative, so the total's rounding varies per run; iterate sorted keys", obj.Name())
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestFloatAccum(t *testing.T) {
+	analysistest.Run(t, analysis.FloatAccum, "floataccum", "ec2wfsim/internal/harness/fx")
+}
+
+func TestFloatAccumClean(t *testing.T) {
+	analysistest.Run(t, analysis.FloatAccum, "floataccum_clean", "ec2wfsim/internal/harness/fx")
+}

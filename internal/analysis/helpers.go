@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the function or method
+// object it invokes, or nil when the callee is not a named function
+// (function literals, conversions, method values through interfaces
+// still resolve — interface methods return the interface's *types.Func).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgLevelCall reports whether call invokes a package-level function
+// named one of names from the package with import path pkgPath.
+func isPkgLevelCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// methodRecvPkg returns the import path of the package defining the
+// method invoked by call, or "" when call is not a method call.
+func methodRecvPkg(info *types.Info, call *ast.CallExpr) (pkgPath, method string) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// isMapType reports whether e's type is (or has underlying) map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// basicKind returns the basic-type kind of e after stripping named
+// types, or types.Invalid when e's type is not basic.
+func basicKind(info *types.Info, e ast.Expr) types.BasicKind {
+	t := info.TypeOf(e)
+	if t == nil {
+		return types.Invalid
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return types.Invalid
+	}
+	return b.Kind()
+}
+
+// isFloat reports whether kind is a floating-point or complex kind
+// (complex arithmetic inherits float non-associativity).
+func isFloat(k types.BasicKind) bool {
+	switch k {
+	case types.Float32, types.Float64, types.Complex64, types.Complex128,
+		types.UntypedFloat, types.UntypedComplex:
+		return true
+	}
+	return false
+}
+
+// isInteger reports whether kind is an integer kind.
+func isInteger(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+		types.Uintptr, types.UntypedInt:
+		return true
+	}
+	return false
+}
+
+// rootObj returns the variable at the root of an lvalue expression:
+// the x in x, x.F, x.F[i], (*x).F, etc. It returns nil for
+// expressions not rooted in a variable (function calls, literals).
+func rootObj(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj, _ := info.Uses[v].(*types.Var)
+			if obj == nil {
+				obj, _ = info.Defs[v].(*types.Var)
+			}
+			return obj
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside the source
+// range [lo, hi] — i.e. the loop body does not own it, so whatever the
+// loop does to it escapes the iteration.
+func declaredOutside(obj *types.Var, lo, hi token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// exprUsesObj reports whether any identifier inside e resolves to obj.
+func exprUsesObj(info *types.Info, e ast.Expr, obj *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// importsOf returns the import specs of file whose path is in paths.
+func importsOf(file *ast.File, paths ...string) []*ast.ImportSpec {
+	var out []*ast.ImportSpec
+	for _, imp := range file.Imports {
+		p := importPath(imp)
+		for _, want := range paths {
+			if p == want {
+				out = append(out, imp)
+			}
+		}
+	}
+	return out
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	if len(p) >= 2 && p[0] == '"' {
+		p = p[1 : len(p)-1]
+	}
+	return p
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags order-sensitive work performed while ranging over a
+// map: Go randomizes map iteration order per run, so any loop whose
+// body appends to an escaping slice, accumulates a running total from
+// the elements, writes output, or schedules simulator events produces
+// run-dependent results — the classic golden-file breaker.
+//
+// The sanctioned idiom is collect-keys-then-sort: a loop that only
+// appends the keys/values to a slice which is subsequently passed to a
+// sort.* / slices.Sort* call in the same block is accepted.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive operations inside range-over-map loops",
+	Why: "map iteration order is randomized per process: slices, emitted output and " +
+		"scheduled events built in map order differ between otherwise identical runs, " +
+		"breaking golden grids and paired baselines. Collect the keys, sort them, then iterate.",
+	Run: runMapOrder,
+}
+
+// sortCalls are the package-level functions accepted as establishing a
+// deterministic order for a slice built from map iteration.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// printCalls are package-level functions that emit output directly.
+var printCalls = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+	},
+}
+
+// writerMethods are method names treated as writing output when invoked
+// on a value that outlives the loop body (strings.Builder, bytes.Buffer,
+// io.Writer, csv.Writer, json.Encoder, ...).
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				mapOrderWalk(pass, fn.Body, fn.Body)
+			}
+		}
+	}
+}
+
+// mapOrderWalk visits n looking for range-over-map statements,
+// tracking the innermost enclosing function body (fnBody) so the
+// collect-then-sort escape can look past intervening loops and blocks.
+func mapOrderWalk(pass *Pass, n ast.Node, fnBody *ast.BlockStmt) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			if st.Body != nil {
+				mapOrderWalk(pass, st.Body, st.Body)
+			}
+			return false
+		case *ast.RangeStmt:
+			if isMapType(pass.Info, st.X) {
+				checkMapRange(pass, st, fnBody)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange inspects the body of one range-over-map statement.
+// fnBody is the innermost enclosing function body, scanned for a
+// subsequent sort of any slice the loop appends to.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	lo, hi := rs.Pos(), rs.End()
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // handled by mapOrderWalk with its own scope
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, st, fnBody, lo, hi)
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, st, lo, hi)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, st *ast.AssignStmt, fnBody *ast.BlockStmt, lo, hi token.Pos) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) || !isBuiltinAppend(pass.Info, rhs) {
+				continue
+			}
+			obj := rootObj(pass.Info, st.Lhs[i])
+			if !declaredOutside(obj, lo, hi) {
+				continue
+			}
+			if sortedAfter(pass.Info, fnBody, obj, hi) {
+				continue
+			}
+			pass.Reportf(st.Pos(),
+				"append to %s inside range over map: element order varies per run; collect keys, sort, then iterate (or sort %s before use)",
+				obj.Name(), obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		obj := rootObj(pass.Info, st.Lhs[0])
+		if !declaredOutside(obj, lo, hi) {
+			return
+		}
+		kind := basicKind(pass.Info, st.Lhs[0])
+		switch {
+		case kind == types.String:
+			pass.Reportf(st.Pos(),
+				"string concatenation into %s inside range over map: concatenation order varies per run; iterate sorted keys", obj.Name())
+		case isInteger(kind) && usesRangeVars(pass.Info, rs, st.Rhs[0]):
+			pass.Reportf(st.Pos(),
+				"integer total %s accumulated from map elements in iteration order: pair with maporder-clean shape — iterate sorted keys so intermediate states (and any break/rounding) are reproducible", obj.Name())
+		}
+	}
+}
+
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr, lo, hi token.Pos) {
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv == nil {
+			if names := printCalls[fn.Pkg().Path()]; names[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"%s.%s inside range over map: output is emitted in random map order; iterate sorted keys", fn.Pkg().Name(), fn.Name())
+			}
+			return
+		}
+	}
+	pkg, method := methodRecvPkg(pass.Info, call)
+	if pkg == "" {
+		return
+	}
+	if pkg == ModulePath+"/internal/sim" {
+		pass.Reportf(call.Pos(),
+			"sim.%s called inside range over map: events are scheduled in random map order, perturbing the event queue; iterate sorted keys", method)
+		return
+	}
+	if writerMethods[method] {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if obj := rootObj(pass.Info, sel.X); declaredOutside(obj, lo, hi) {
+			pass.Reportf(call.Pos(),
+				"%s.%s inside range over map: output is emitted in random map order; iterate sorted keys", obj.Name(), method)
+		}
+	}
+}
+
+// usesRangeVars reports whether e references the loop's key or value
+// variable (an accumulation independent of them — e.g. counting — is a
+// deterministic function of len(m) and exempt).
+func usesRangeVars(info *types.Info, rs *ast.RangeStmt, e ast.Expr) bool {
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := v.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj, _ := info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = info.Uses[id].(*types.Var)
+		}
+		if obj != nil && exprUsesObj(info, e, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// sortedAfter reports whether, somewhere in the enclosing function
+// after position after, obj is passed to a recognized sorting function —
+// the collect-then-sort idiom (the sort may sit past intervening outer
+// loops, so the whole function body is scanned, not just the block tail).
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, obj *types.Var, after token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if names := sortCalls[fn.Pkg().Path()]; !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprUsesObj(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

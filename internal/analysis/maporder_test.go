@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder", "ec2wfsim/internal/report/fx")
+}
+
+func TestMapOrderClean(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder_clean", "ec2wfsim/internal/units/fx")
+}

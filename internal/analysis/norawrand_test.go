@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestNoRawRand(t *testing.T) {
+	analysistest.Run(t, analysis.NoRawRand, "norawrand", "ec2wfsim/internal/wms/fx")
+}
+
+func TestNoRawRandClean(t *testing.T) {
+	// Outside the sim packages the same constructs are fine.
+	analysistest.Run(t, analysis.NoRawRand, "norawrand_clean", "ec2wfsim/internal/sweep/fx")
+}

@@ -1,0 +1,26 @@
+package analysis
+
+// Rules returns the full determinism-lint suite in catalog order. The
+// table is the single registration point: cmd/wfvet runs exactly these
+// analyzers, `wfvet -rules` prints them, and TestRuleCatalogComplete
+// asserts each one ships docs, fixtures and a suppression path.
+func Rules() []*Analyzer {
+	return []*Analyzer{
+		NoRawRand,
+		MapOrder,
+		FloatAccum,
+		SeedFlow,
+		SimGoroutine,
+		WfDirective,
+	}
+}
+
+// RuleNames returns the registered analyzer names in catalog order.
+func RuleNames() []string {
+	rules := Rules()
+	names := make([]string, len(rules))
+	for i, a := range rules {
+		names[i] = a.Name
+	}
+	return names
+}

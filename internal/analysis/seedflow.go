@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeedFlow enforces the seed-derivation layering: internal/rng defines
+// the generator and internal/scenario owns how seeds are derived and
+// salted per experiment cell. Everywhere else, constructing a generator
+// from a literal seed — or reaching for math/rand's sources at all —
+// creates a stream that is not paired with the scenario's seed schedule,
+// so baseline/treatment runs stop sharing randomness and paired deltas
+// turn into noise.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "flag literal rng seeds and ad-hoc math/rand sources outside internal/rng and internal/scenario",
+	Why: "paired ablations (failures on/off, outages on/off) rely on both runs drawing " +
+		"the same per-task randomness from scenario-derived seeds. A literal or ad-hoc " +
+		"seed creates an unpaired stream and silently decorrelates the comparison.",
+	Scope: func(pkgPath string) bool { return !isSeedOwner(pkgPath) },
+	Run:   runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) {
+	rngPath := ModulePath + "/internal/rng"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := isPkgLevelCall(pass.Info, call, randPkg,
+					"New", "NewSource", "Seed", "NewPCG", "NewChaCha8", "NewZipf"); ok {
+					pass.Reportf(call.Pos(),
+						"ad-hoc %s.%s: seed derivation belongs to internal/rng + internal/scenario (scenario-salted splitmix64 streams)", randPkg, name)
+				}
+			}
+			if _, ok := isPkgLevelCall(pass.Info, call, rngPath, "New"); ok && len(call.Args) == 1 {
+				if tv, found := pass.Info.Types[call.Args[0]]; found && tv.Value != nil {
+					pass.Reportf(call.Pos(),
+						"rng.New with a literal seed: constant seeds bypass scenario salting and break seed pairing; derive the seed from the scenario (Spec seeds / rng.Fork)")
+				}
+			}
+			return true
+		})
+	}
+}

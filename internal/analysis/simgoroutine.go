@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SimGoroutine keeps host-scheduler concurrency out of the event-loop
+// simulation packages. Inside the engine, "concurrency" means simulated
+// processes multiplexed over the deterministic event queue (sim.Engine.Go,
+// Proc.Sleep); a bare goroutine, a wall-clock sleep, or a sync primitive
+// makes progress depend on the Go scheduler and the host, which no seed
+// controls. Real parallelism lives one layer up, in internal/sweep,
+// which runs whole (internally serial) simulations side by side.
+var SimGoroutine = &Analyzer{
+	Name: "simgoroutine",
+	Doc:  "forbid bare goroutines, time.Sleep and sync primitives in event-loop simulation packages",
+	Why: "the engine owns all interleaving: every wakeup flows through the event queue " +
+		"so that replaying a scenario replays the exact schedule. Bare goroutines and " +
+		"locks reintroduce host-scheduler ordering; parallelism belongs to internal/sweep.",
+	Scope: inSimPackage,
+	Run:   runSimGoroutine,
+}
+
+func runSimGoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range importsOf(f, "sync", "sync/atomic") {
+			pass.Reportf(imp.Pos(),
+				"import of %s in event-loop package: lock/wakeup order depends on the host scheduler; use the engine's primitives (sim.Engine, Proc) or move concurrency to internal/sweep", importPath(imp))
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(st.Pos(),
+					"bare goroutine in event-loop package: host-scheduler interleaving is outside the event queue; use sim.Engine.Go / GoDaemon")
+			case *ast.CallExpr:
+				if _, ok := isPkgLevelCall(pass.Info, st, "time", "Sleep", "After", "Tick", "NewTimer", "NewTicker"); ok {
+					pass.Reportf(st.Pos(),
+						"wall-clock sleep/timer in event-loop package: simulated time must advance via Proc.Sleep / Engine.At")
+				}
+			}
+			return true
+		})
+	}
+}

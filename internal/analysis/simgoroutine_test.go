@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestSimGoroutine(t *testing.T) {
+	analysistest.Run(t, analysis.SimGoroutine, "simgoroutine", "ec2wfsim/internal/flow/fx")
+}
+
+func TestSimGoroutineClean(t *testing.T) {
+	// The sweep layer owns real concurrency; nothing there should fire.
+	analysistest.Run(t, analysis.SimGoroutine, "simgoroutine_clean", "ec2wfsim/internal/sweep/fx")
+}

@@ -1,0 +1,75 @@
+// Package fx is a floataccum fixture (analyzed as ec2wfsim/internal/harness/fx).
+package fx
+
+func sumDirect(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+func sumLonghand(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point accumulation into p`
+	}
+	return p
+}
+
+// Re-binning floats by a coarser key collides map keys, so the per-slot
+// order still varies run to run.
+func rebin(m map[string]float64, coarse func(string) string) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		out[coarse(k)] += v // want `floating-point accumulation into out`
+	}
+	return out
+}
+
+// Slice iteration is ordered: the classic reduction is fine there.
+func sumSlice(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Integer totals are exact under reordering; maporder owns that shape.
+func countBig(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		if v > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// A value scoped to one iteration never observes cross-key order.
+func scaleEach(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		scaled := v * 2
+		out[k] = scaled
+	}
+	return out
+}
+
+func suppressedSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//wfvet:ignore floataccum diagnostic-only aggregate, compared with a tolerance
+		total += v
+	}
+	return total
+}

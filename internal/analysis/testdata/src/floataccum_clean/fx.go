@@ -1,0 +1,30 @@
+// Package fx is the floataccum clean fixture: reductions in
+// deterministic orders only.
+package fx
+
+import "sort"
+
+// Sum over sorted keys: the reduction order is pinned, bit-stable.
+func Sum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}

@@ -1,0 +1,32 @@
+// Package fx is the maporder clean fixture (analyzed as
+// ec2wfsim/internal/units/fx): the blessed shapes only.
+package fx
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ranging over a slice is ordered; printing from it is fine.
+func Print(m map[string]float64) {
+	for _, k := range Keys(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

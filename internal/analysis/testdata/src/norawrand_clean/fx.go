@@ -1,0 +1,15 @@
+// Package fx is the norawrand clean fixture: the same calls are legal
+// outside the simulation packages (analyzed as ec2wfsim/internal/sweep/fx,
+// the layer that owns real time and real concurrency).
+package fx
+
+import (
+	"os"
+	"time"
+)
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+func Stamp() time.Time { return time.Now() }
+
+func Debug() bool { return os.Getenv("EC2WFSIM_DEBUG") != "" }

@@ -1,0 +1,36 @@
+// Package fx is a seedflow fixture (analyzed as ec2wfsim/internal/apps/fx,
+// which is not a seed owner).
+package fx
+
+import (
+	"math/rand"
+
+	"ec2wfsim/internal/rng"
+)
+
+func adhoc() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `ad-hoc math/rand\.New` `ad-hoc math/rand\.NewSource`
+}
+
+func literalSeed() *rng.RNG {
+	return rng.New(42) // want `rng\.New with a literal seed`
+}
+
+func constExprSeed() *rng.RNG {
+	const salt = 40
+	return rng.New(salt + 2) // want `rng\.New with a literal seed`
+}
+
+// Seeds that arrive from the scenario layer are the sanctioned flow.
+func derived(seed uint64) *rng.RNG {
+	return rng.New(seed)
+}
+
+func forked(r *rng.RNG) *rng.RNG {
+	return r.Fork()
+}
+
+func suppressedLiteral() *rng.RNG {
+	//wfvet:ignore seedflow fixed stream for a self-calibration table, never paired with a scenario
+	return rng.New(7)
+}

@@ -1,0 +1,18 @@
+// Package fx is the seedflow clean fixture, analyzed as
+// ec2wfsim/internal/scenario/fx: the scenario layer owns seed
+// derivation, so literal base seeds and salting are its prerogative.
+package fx
+
+import "ec2wfsim/internal/rng"
+
+const baseSeed = 0x9e3779b97f4a7c15
+
+func CellSeed(cellKey string, replicate uint64) uint64 {
+	return rng.HashString(cellKey) ^ baseSeed ^ replicate
+}
+
+func CellRNG(cellKey string, replicate uint64) *rng.RNG {
+	return rng.New(CellSeed(cellKey, replicate))
+}
+
+func Base() *rng.RNG { return rng.New(baseSeed) }

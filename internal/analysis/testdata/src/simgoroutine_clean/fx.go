@@ -1,0 +1,23 @@
+// Package fx is the simgoroutine clean fixture, analyzed as
+// ec2wfsim/internal/sweep/fx: the sweep layer is exactly where real
+// goroutines, locks and wall-clock pacing belong.
+package fx
+
+import (
+	"sync"
+	"time"
+)
+
+func Fan(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func Backoff(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,23 @@
+// Package fx is a wfdirective fixture (analyzed as
+// ec2wfsim/internal/trace/fx): the suppression comments themselves are
+// under test.
+package fx
+
+import "time"
+
+// A well-formed directive: known analyzer, non-empty reason.
+func valid() time.Time {
+	//wfvet:ignore norawrand cosmetic timestamp in a log banner
+	return time.Now()
+}
+
+//wfvet:ignore // want `malformed wfvet:ignore`
+
+//wfvet:ignore nosuchrule because reasons // want `unknown analyzer "nosuchrule"`
+
+//wfvet:ignore floataccum // want `wfvet:ignore floataccum without a reason`
+
+// Even wfdirective itself can be silenced, e.g. to keep a deliberately
+// broken directive around as documentation:
+//wfvet:ignore wfdirective the next line is a doc example, not a live directive
+//wfvet:ignore nosuchrule kept verbatim from the style guide

@@ -1,0 +1,13 @@
+// Package fx is the wfdirective clean fixture: every directive names a
+// registered analyzer and justifies itself.
+package fx
+
+import "time"
+
+func banner() time.Time {
+	//wfvet:ignore norawrand startup banner timestamp, outside any simulated run
+	return time.Now()
+}
+
+//wfvet:ignore maporder keys are sorted by the sole caller (see Keys in report.go)
+var _ = time.Second

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestWfDirective(t *testing.T) {
+	analysistest.Run(t, analysis.WfDirective, "wfdirective", "ec2wfsim/internal/trace/fx")
+}
+
+func TestWfDirectiveClean(t *testing.T) {
+	analysistest.Run(t, analysis.WfDirective, "wfdirective_clean", "ec2wfsim/internal/trace/fx")
+}

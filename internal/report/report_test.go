@@ -161,3 +161,48 @@ func TestEmptyChartAndTable(t *testing.T) {
 		t.Error("empty table lost its header")
 	}
 }
+
+// TestEmissionOrderIsInsertionOrder pins the package's determinism
+// contract: Table and BarChart emit rows/bars in exactly the order the
+// caller supplied them — no internal sorting, no map involved — so the
+// rendered bytes are a pure function of the insertion sequence.
+// Callers that aggregate into a map must sort keys before Add/AddRow
+// (the wfvet maporder rule enforces that side of the bargain).
+func TestEmissionOrderIsInsertionOrder(t *testing.T) {
+	build := func(order []string) string {
+		tb := &Table{Header: []string{"app", "val"}}
+		ch := &BarChart{Width: 10}
+		for i, k := range order {
+			tb.AddRow(k, "1")
+			ch.Add(k, float64(i+1))
+		}
+		return tb.String() + ch.String()
+	}
+	keys := []string{"montage", "broadband", "epigenome"}
+	first := build(keys)
+	// Byte-stable across repeated renders of the same insertion order.
+	for i := 0; i < 3; i++ {
+		if got := build(keys); got != first {
+			t.Fatalf("render %d diverged from first render:\n%q\nvs\n%q", i, got, first)
+		}
+	}
+	// Insertion order is preserved verbatim: labels appear in the
+	// rendered output in the order supplied, not alphabetized.
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = strings.Index(first, k)
+		if idx[i] < 0 {
+			t.Fatalf("label %q missing from output:\n%s", k, first)
+		}
+	}
+	if !(idx[0] < idx[1] && idx[1] < idx[2]) {
+		t.Errorf("labels not emitted in insertion order (offsets %v):\n%s", idx, first)
+	}
+	// A different insertion order yields a correspondingly different
+	// emission order — the renderer does not reorder behind the
+	// caller's back.
+	reversed := build([]string{"epigenome", "broadband", "montage"})
+	if strings.Index(reversed, "epigenome") > strings.Index(reversed, "montage") {
+		t.Errorf("reversed insertion did not reverse emission:\n%s", reversed)
+	}
+}

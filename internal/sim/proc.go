@@ -44,6 +44,7 @@ func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
 func (e *Engine) start(p *Proc, fn func(p *Proc)) {
 	prev := e.cur
 	e.cur = p
+	//wfvet:ignore simgoroutine the engine itself is the one sanctioned goroutine owner: each Proc runs on a real goroutine but the yielded/wake handshake keeps exactly one runnable at a time, so the interleaving is the event queue's, not the host scheduler's
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

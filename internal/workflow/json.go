@@ -59,8 +59,12 @@ func (w *Workflow) WriteJSON(out io.Writer) error {
 		jw.Tasks = append(jw.Tasks, jt)
 		byTask[t] = t.ID
 	}
-	for child, parents := range w.extraDeps {
-		for _, p := range parents {
+	// Emit extra dependencies in task declaration order, not map
+	// iteration order: the serialized form must be byte-identical
+	// across runs (wfvet:maporder), and this matches how Finalize
+	// consumes extraDeps.
+	for _, child := range w.Tasks {
+		for _, p := range w.extraDeps[child] {
 			jw.Deps = append(jw.Deps, jsonDep{Parent: byTask[p], Child: byTask[child]})
 		}
 	}

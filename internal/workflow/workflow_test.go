@@ -2,6 +2,8 @@ package workflow
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -295,5 +297,61 @@ func TestPropertyJSONRoundTripPreservesShape(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestWriteJSONDepsDeterministic pins the serialization order of extra
+// (control) dependencies. WriteJSON used to iterate the extraDeps map
+// directly, so the "deps" array came out in random map order — two runs
+// of the same program could serialize the same workflow to different
+// bytes, breaking any golden or content-addressed artifact built on the
+// JSON form. Deps must now appear in task declaration order regardless
+// of AddDependency call order.
+func TestWriteJSONDepsDeterministic(t *testing.T) {
+	build := func(order []int) *Workflow {
+		w := New("deps")
+		tasks := make([]*Task, 8)
+		for i := range tasks {
+			tasks[i] = w.AddTask(&Task{ID: fmt.Sprintf("t%d", i), Runtime: 1})
+		}
+		// Register child deps in the caller's order; many distinct map
+		// keys makes iteration-order leakage all but certain to show.
+		for _, i := range order {
+			if i > 0 {
+				w.AddDependency(tasks[i-1], tasks[i])
+			}
+		}
+		return w
+	}
+	forward := make([]int, 8)
+	backward := make([]int, 8)
+	for i := range forward {
+		forward[i] = i
+		backward[i] = len(backward) - 1 - i
+	}
+	var a, b bytes.Buffer
+	if err := build(forward).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(backward).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("WriteJSON depends on AddDependency order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// And the order is the declared task order, not just *an* order.
+	var jw struct {
+		Deps []struct{ Parent, Child string } `json:"controlDeps"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &jw); err != nil {
+		t.Fatal(err)
+	}
+	if len(jw.Deps) != 7 {
+		t.Fatalf("got %d deps, want 7", len(jw.Deps))
+	}
+	for i, d := range jw.Deps {
+		if want := fmt.Sprintf("t%d", i+1); d.Child != want {
+			t.Errorf("deps[%d].Child = %q, want %q (task declaration order)", i, d.Child, want)
+		}
 	}
 }
