@@ -12,15 +12,19 @@ test:
 	go test ./...
 
 # Determinism lint: gofmt diff check, standard vet, then the wfvet
-# analyzer suite through the go vet driver (exit 2 on findings).
+# analyzer suite through both drivers — the go vet protocol (per-package
+# facts) and the standalone whole-program mode, baseline-enforced (only
+# findings absent from .wfvet-baseline.json fail; stale entries fail
+# too). Exit 2 on findings, 1 on usage errors.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	go vet ./...
 	go build -o $(WFVET) ./cmd/wfvet
 	go vet -vettool=$(WFVET) ./...
+	$(WFVET) -baseline .wfvet-baseline.json ./...
 
 fmt:
 	gofmt -w .
 
 rules:
-	go run ./cmd/wfvet -rules
+	go run ./cmd/wfvet -catalog

@@ -2,20 +2,37 @@
 // multichecker that mechanically enforces the simulator's bit-identical
 // contract (no wall clocks or raw math/rand in sim packages, no
 // order-sensitive map iteration, no ad-hoc seeds, no host-scheduler
-// concurrency in the event loop).
+// concurrency in the event loop), including the interprocedural rules
+// that follow map order, seeds and wall-clock reads across calls.
 //
 // Usage:
 //
-//	wfvet [packages]              analyze packages (default ./...)
-//	wfvet -rules                  print the rule catalog
+//	wfvet [flags] [packages]            analyze packages (default ./...)
+//	wfvet -catalog                      print the rule catalog
 //	go vet -vettool=$(which wfvet) ./...
 //
-// As a vettool it speaks the go command's unit-checking protocol, so
-// `go vet` drives it with precomputed file lists and export data. The
-// standalone form shells out to `go list` and needs only the toolchain.
+// Flags:
 //
-// Exit status: 0 clean, 1 operational error, 2 findings. Suppress a
-// finding with `//wfvet:ignore <analyzer> <reason>` on (or directly
+//	-rules a,b          run only the named rules (default: all nine)
+//	-format text|json|sarif
+//	                    findings output form (json/sarif go to stdout)
+//	-baseline file      accept findings listed in the baseline; only
+//	                    new findings (or stale entries) fail the run
+//	-write-baseline file
+//	                    write the current findings as a baseline and
+//	                    exit; reasons must be filled in before the
+//	                    file is usable
+//
+// As a vettool it speaks the go command's unit-checking protocol, and
+// publishes per-function determinism summaries through the vetx facts
+// channel so the interprocedural rules see across package boundaries.
+// The standalone form shells out to `go list`, type-checks the whole
+// module and computes the same summaries over the whole-program
+// callgraph; both modes agree on findings.
+//
+// Exit status: 0 clean, 1 usage or operational error, 2 findings (in
+// both standalone and vettool modes; `go vet` relays the 2). Suppress
+// a finding with `//wfvet:ignore <analyzer> <reason>` on (or directly
 // above) the offending line; the reason is mandatory.
 package main
 
@@ -29,41 +46,110 @@ import (
 )
 
 func main() {
-	rules := analysis.Rules()
+	os.Exit(run(os.Args[1:]))
+}
 
+func run(args []string) int {
 	// Vettool protocol first: `go vet` probes with -V=full / -flags
 	// and then passes a single vet.cfg path, none of which should hit
 	// the flag package's error handling.
-	if code, handled := driver.RunVettool(os.Args[1:], rules); handled {
-		os.Exit(code)
+	if code, handled := driver.RunVettool(args, analysis.Rules()); handled {
+		return code
 	}
 
-	printRules := flag.Bool("rules", false, "print the determinism rule catalog and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: wfvet [-rules] [packages]\n       go vet -vettool=$(which wfvet) [packages]\n")
-		flag.PrintDefaults()
+	fs := flag.NewFlagSet("wfvet", flag.ContinueOnError)
+	rulesSpec := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	catalog := fs.Bool("catalog", false, "print the determinism rule catalog and exit")
+	format := fs.String("format", "text", "findings output format: text, json or sarif")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings (JSON; every entry needs a reason)")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"usage: wfvet [flags] [packages]\n       go vet -vettool=$(which wfvet) [packages]\nexit status: 0 clean, 1 usage/operational error, 2 findings\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1 // the flag package already printed the usage error
+	}
 
-	if *printRules {
+	rules, err := analysis.SelectRules(*rulesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *catalog {
 		printCatalog(rules)
-		return
+		return 0
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "wfvet: unknown format %q (valid: text, json, sarif)\n", *format)
+		return 1
 	}
 
-	patterns := flag.Args()
+	// Load the baseline before the (slow) analysis so a malformed file
+	// fails fast as the usage error it is.
+	var baseline *driver.Baseline
+	if *baselinePath != "" {
+		baseline, err = driver.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+			return 1
+		}
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := driver.Run(os.Stderr, ".", patterns, rules)
+	res, err := driver.Analyze(".", patterns, rules)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "wfvet: %d finding(s)\n", findings)
-		os.Exit(2)
+
+	if *writeBaseline != "" {
+		if err := driver.WriteBaseline(*writeBaseline, res.Findings); err != nil {
+			fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wfvet: wrote %d finding(s) to %s; fill in each entry's reason before committing\n",
+			len(res.Findings), *writeBaseline)
+		return 0
 	}
+
+	report := &driver.Report{Findings: res.Findings, Stats: res.Stats}
+	var stale []driver.BaselineEntry
+	if baseline != nil {
+		report.Findings, report.Baselined, stale = baseline.Apply(res.Findings)
+	}
+
+	switch *format {
+	case "json":
+		err = report.WriteJSON(os.Stdout)
+	case "sarif":
+		err = report.WriteSARIF(os.Stdout, rules)
+	default:
+		err = report.WriteText(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+		return 1
+	}
+
+	failed := false
+	if n := len(report.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "wfvet: %d finding(s)\n", n)
+		failed = true
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "wfvet: stale baseline entry: [%s] %s: %s (prune it so it cannot mask a regression)\n",
+			e.Rule, e.File, e.Message)
+		failed = true
+	}
+	if failed {
+		return 2
+	}
+	return 0
 }
 
 func printCatalog(rules []*analysis.Analyzer) {

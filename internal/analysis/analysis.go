@@ -66,6 +66,13 @@ type Pass struct {
 	// masquerade as real module packages.
 	PkgPath string
 
+	// Summaries carries the interprocedural function summaries
+	// (computed by the callgraph fixpoint) covering this package and
+	// everything it can reach. Intraprocedural analyzers ignore it; a
+	// nil table degrades the interprocedural rules to extern-only
+	// resolution rather than failing.
+	Summaries SummaryTable
+
 	report func(Diagnostic)
 }
 
@@ -90,6 +97,10 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// Summaries is the interprocedural summary table in scope for this
+	// package (own functions + everything reachable). May be nil.
+	Summaries SummaryTable
 }
 
 // IgnoreDirective is one parsed //wfvet:ignore comment.
@@ -176,12 +187,13 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			continue
 		}
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			PkgPath:  pkg.PkgPath,
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			PkgPath:   pkg.PkgPath,
+			Summaries: pkg.Summaries,
 		}
 		pass.report = func(d Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
@@ -205,5 +217,24 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
-	return kept
+	return dedupe(pkg.Fset, kept)
+}
+
+// dedupe drops diagnostics that duplicate an earlier one at the same
+// source position with the same message: interprocedural and local
+// rules can legitimately converge on one call site, and the user needs
+// the finding once. The input must be position-sorted (RunPackage's
+// order), so duplicates are adjacent up to the analyzer name.
+func dedupe(fset *token.FileSet, ds []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			if prev.Message == d.Message && fset.Position(prev.Pos) == fset.Position(d.Pos) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }

@@ -30,6 +30,7 @@ import (
 	"testing"
 
 	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/callgraph"
 	"ec2wfsim/internal/analysis/driver"
 )
 
@@ -47,8 +48,7 @@ type expectation struct {
 // the fixture's `// want` annotations exactly.
 func Run(t *testing.T, a *analysis.Analyzer, fixture, asImportPath string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", fixture)
-	pkg, err := loadFixture(dir, asImportPath)
+	pkg, err := Load(filepath.Join("testdata", "src", fixture), asImportPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
@@ -69,6 +69,21 @@ func Run(t *testing.T, a *analysis.Analyzer, fixture, asImportPath string) {
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}
+}
+
+// Load parses and type-checks every .go file in dir as one package with
+// the given import path, then computes the package's interprocedural
+// summaries over its own callgraph — so fixtures exercise the
+// cross-function rules exactly as the drivers do. It is exported for
+// the callgraph package's own tests, which need the type-checked view
+// without running any analyzer.
+func Load(dir, asImportPath string) (*analysis.Package, error) {
+	pkg, err := loadFixture(dir, asImportPath)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Summaries = callgraph.Summarize([]*analysis.Package{pkg}, nil)
+	return pkg, nil
 }
 
 // loadFixture parses and type-checks every .go file in dir as one

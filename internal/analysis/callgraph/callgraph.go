@@ -1,0 +1,398 @@
+// Package callgraph builds a whole-program call graph over the
+// type-checked packages the wfvet loader produces, and runs the
+// bottom-up summary fixpoint that powers the interprocedural
+// determinism rules (ordertaint, seedtaint, walltime).
+//
+// The graph is an over-approximation in the usual static-analysis
+// sense: every call that can happen at runtime has an edge, plus some
+// that cannot.
+//
+//   - Static edges connect a call site to the named function or
+//     concrete method it resolves to.
+//   - Interface edges connect a call through an interface method to
+//     every in-view concrete type that implements the interface — the
+//     storage.System backends are the canonical case.
+//   - FuncValue edges connect a call through a function-typed value
+//     (parameter, field, variable) to every in-view function whose
+//     address is taken and whose signature has a compatible arity.
+//
+// Effect propagation (the summary fixpoint) uses static edges via
+// analysis.ScanFunc and additionally merges the boolean wall-clock /
+// env effects across interface edges; function-value edges are kept
+// for reachability queries but excluded from effect propagation, since
+// arity-matched dynamic dispatch would smear taint across unrelated
+// callbacks (the walltime rule checks handler arguments at the call
+// site instead).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"ec2wfsim/internal/analysis"
+)
+
+// EdgeKind classifies how a call site resolves to its callee.
+type EdgeKind int
+
+const (
+	// Static is a direct call to a named function or concrete method.
+	Static EdgeKind = iota
+	// Interface is a call through an interface method, resolved
+	// conservatively to every implementing in-view method.
+	Interface
+	// FuncValue is a call through a function-typed value, resolved
+	// conservatively to address-taken functions of compatible arity.
+	FuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case FuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// Node is one function in the graph. In-view functions (defined in an
+// analyzed package) carry their declaration and package; external
+// functions (stdlib, unanalyzed module packages) are leaves.
+type Node struct {
+	Fn   *types.Func
+	Sym  string
+	Decl *ast.FuncDecl     // nil for externals
+	Pkg  *analysis.Package // nil for externals
+	Out  []*Edge
+	In   []*Edge
+
+	// AddrTaken records that the function is used as a value somewhere
+	// in view, making it a candidate callee for FuncValue edges.
+	AddrTaken bool
+}
+
+// External reports whether the node has no analyzed source.
+func (n *Node) External() bool { return n.Decl == nil }
+
+// Edge is one call relationship.
+type Edge struct {
+	Caller, Callee *Node
+	Site           ast.Node // the call expression (nil for synthesized edges)
+	Kind           EdgeKind
+}
+
+// Graph is a whole-program (or, in vettool mode, single-package) call
+// graph.
+type Graph struct {
+	Nodes map[string]*Node // by canonical symbol
+
+	// ifaceImpls maps an interface method's symbol to the in-view
+	// concrete methods that can stand behind it at some call site. The
+	// summary fixpoint uses it to maintain a synthetic summary entry
+	// for the interface method carrying the union of its
+	// implementations' wall-clock/env effects.
+	ifaceImpls map[string][]*Node
+}
+
+// Stats summarizes the graph for audit output.
+type Stats struct {
+	Functions  int `json:"functions"`
+	External   int `json:"external"`
+	Static     int `json:"static_edges"`
+	Interface  int `json:"interface_edges"`
+	FuncValue  int `json:"funcvalue_edges"`
+	SimReached int `json:"sim_reachable"`
+}
+
+// Build constructs the graph over pkgs. All packages must share one
+// FileSet and Info conventions (the wfvet loader guarantees this).
+func Build(pkgs []*analysis.Package) *Graph {
+	g := &Graph{Nodes: make(map[string]*Node), ifaceImpls: make(map[string][]*Node)}
+	b := &builder{g: g}
+
+	// Pass 1: declare in-view functions and collect concrete methods
+	// and address-taken functions for the dynamic over-approximations.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := g.node(obj)
+				n.Decl = fd
+				n.Pkg = pkg
+				if sig := obj.Type().(*types.Signature); sig.Recv() != nil {
+					b.methods = append(b.methods, n)
+				}
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				b.scan(pkg, g.node(obj), fd.Body)
+			}
+		}
+	}
+
+	// Pass 3: resolve recorded dynamic call sites now that the
+	// address-taken set is complete.
+	b.resolveDynamic()
+	return g
+}
+
+// node interns the node for fn.
+func (g *Graph) node(fn *types.Func) *Node {
+	sym := analysis.FuncSym(fn)
+	if n, ok := g.Nodes[sym]; ok {
+		return n
+	}
+	n := &Node{Fn: fn, Sym: sym}
+	g.Nodes[sym] = n
+	return n
+}
+
+func (g *Graph) addEdge(caller, callee *Node, site ast.Node, kind EdgeKind) {
+	e := &Edge{Caller: caller, Callee: callee, Site: site, Kind: kind}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+// builder carries the intermediate state of graph construction.
+type builder struct {
+	g       *Graph
+	methods []*Node // in-view concrete methods (interface resolution)
+	dynamic []dynSite
+}
+
+type dynSite struct {
+	caller *Node
+	site   *ast.CallExpr
+	sig    *types.Signature
+}
+
+// scan walks one function body, adding edges for every call and
+// recording address-taken function references. Function literals are
+// attributed to the enclosing declaration: a call inside a literal
+// still creates an edge from the declaring function, which keeps
+// reachability conservative without modeling literals as nodes.
+func (b *builder) scan(pkg *analysis.Package, caller *Node, body ast.Node) {
+	info := pkg.Info
+
+	// First pass: calls. Record the identifiers standing in callee
+	// position so the second pass can tell a call from a reference.
+	callees := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callees[fun] = true
+		case *ast.SelectorExpr:
+			callees[fun.Sel] = true
+		}
+		b.scanCall(pkg, caller, call)
+		return true
+	})
+
+	// Second pass: function identifiers outside callee position are
+	// address-taken (passed, stored, returned as values) and become
+	// candidate targets of FuncValue edges.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callees[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			b.g.node(fn).AddrTaken = true
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call site.
+func (b *builder) scanCall(pkg *analysis.Package, caller *Node, call *ast.CallExpr) {
+	info := pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			b.g.addEdge(caller, b.g.node(obj), call, Static)
+		case *types.Builtin, *types.TypeName, nil:
+			// builtin call or conversion: no edge
+		default:
+			// call through a function-typed variable
+			if sig := signatureOf(info, fun); sig != nil {
+				b.dynamic = append(b.dynamic, dynSite{caller, call, sig})
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			callee := sel.Obj().(*types.Func)
+			if types.IsInterface(sel.Recv()) {
+				b.interfaceEdges(caller, call, sel.Recv(), callee)
+			} else {
+				b.g.addEdge(caller, b.g.node(callee), call, Static)
+			}
+			return
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			// package-qualified function
+			b.g.addEdge(caller, b.g.node(fn), call, Static)
+			return
+		}
+		// field of function type
+		if sig := signatureOf(info, fun); sig != nil {
+			b.dynamic = append(b.dynamic, dynSite{caller, call, sig})
+		}
+	default:
+		if sig := signatureOf(info, call.Fun); sig != nil {
+			b.dynamic = append(b.dynamic, dynSite{caller, call, sig})
+		}
+	}
+}
+
+// signatureOf returns e's function signature when e has function type
+// (possibly through a named type), else nil.
+func signatureOf(info *types.Info, e ast.Expr) *types.Signature {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// interfaceEdges adds one edge per in-view concrete method that can
+// satisfy the interface call: the method's receiver type implements the
+// interface and the method name matches.
+func (b *builder) interfaceEdges(caller *Node, call *ast.CallExpr, iface types.Type, m *types.Func) {
+	b.g.addEdge(caller, b.g.node(m), call, Static) // the interface method itself (leaf)
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, impl := range b.methods {
+		if impl.Fn.Name() != m.Name() {
+			continue
+		}
+		recv := impl.Fn.Type().(*types.Signature).Recv().Type()
+		if types.Implements(recv, it) || types.Implements(types.NewPointer(recv), it) {
+			b.g.addEdge(caller, impl, call, Interface)
+			b.g.recordIfaceImpl(analysis.FuncSym(m), impl)
+		}
+	}
+}
+
+// recordIfaceImpl registers impl as a possible target of the interface
+// method sym, once.
+func (g *Graph) recordIfaceImpl(sym string, impl *Node) {
+	for _, n := range g.ifaceImpls[sym] {
+		if n == impl {
+			return
+		}
+	}
+	g.ifaceImpls[sym] = append(g.ifaceImpls[sym], impl)
+}
+
+// resolveDynamic adds FuncValue edges from each recorded dynamic call
+// site to every address-taken in-view function with a matching
+// parameter count.
+func (b *builder) resolveDynamic() {
+	var candidates []*Node
+	for _, n := range b.g.Nodes {
+		if n.AddrTaken && !n.External() {
+			candidates = append(candidates, n)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Sym < candidates[j].Sym })
+	for _, d := range b.dynamic {
+		for _, c := range candidates {
+			csig, ok := c.Fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			if csig.Params().Len() == d.sig.Params().Len() && csig.Variadic() == d.sig.Variadic() {
+				b.g.addEdge(d.caller, c, d.site, FuncValue)
+			}
+		}
+	}
+}
+
+// Reachable returns the set of nodes reachable (over all edge kinds)
+// from the nodes accepted by seed.
+func (g *Graph) Reachable(seed func(*Node) bool) map[*Node]bool {
+	visited := make(map[*Node]bool)
+	var stack []*Node
+	for _, n := range g.Nodes {
+		if seed(n) {
+			visited[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if !visited[e.Callee] {
+				visited[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return visited
+}
+
+// SimReachable returns the nodes reachable from any function defined in
+// one of the event-loop simulation packages — the blast radius a
+// nondeterministic read must stay out of.
+func (g *Graph) SimReachable() map[*Node]bool {
+	return g.Reachable(func(n *Node) bool {
+		return !n.External() && analysis.InSimPackage(n.Pkg.PkgPath)
+	})
+}
+
+// Stats computes graph statistics for the audit trail.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	for _, n := range g.Nodes {
+		if n.External() {
+			s.External++
+		} else {
+			s.Functions++
+		}
+		for _, e := range n.Out {
+			switch e.Kind {
+			case Static:
+				s.Static++
+			case Interface:
+				s.Interface++
+			case FuncValue:
+				s.FuncValue++
+			}
+		}
+	}
+	s.SimReached = len(g.SimReachable())
+	return s
+}

@@ -1,0 +1,165 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+	"ec2wfsim/internal/analysis/callgraph"
+)
+
+const fxPath = "ec2wfsim/internal/disk/fx"
+
+func loadGraphFixture(t *testing.T) (*callgraph.Graph, analysis.SummaryTable) {
+	t.Helper()
+	pkg, err := analysistest.Load(filepath.Join("testdata", "src", "graph"), fxPath)
+	if err != nil {
+		t.Fatalf("loading graph fixture: %v", err)
+	}
+	g := callgraph.Build([]*analysis.Package{pkg})
+	return g, callgraph.SummarizeGraph(g, nil)
+}
+
+// hasEdge reports whether the graph contains an edge caller→callee of
+// the given kind, with symbols matched exactly.
+func hasEdge(g *callgraph.Graph, caller, callee string, kind callgraph.EdgeKind) bool {
+	n := g.Nodes[caller]
+	if n == nil {
+		return false
+	}
+	for _, e := range n.Out {
+		if e.Callee.Sym == callee && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticEdges(t *testing.T) {
+	g, _ := loadGraphFixture(t)
+	for _, tc := range [][2]string{
+		{fxPath + ".direct", fxPath + ".helper"},
+		{fxPath + ".indirect", fxPath + ".apply"},
+		{"(" + fxPath + ".Remote).Fetch", fxPath + ".stamp"},
+		{fxPath + ".stamp", "time.Now"},
+		// A call through an interface also gets a static edge to the
+		// interface method itself (the leaf the fixpoint attaches the
+		// merged synthetic summary to).
+		{fxPath + ".dispatch", "(" + fxPath + ".Backend).Fetch"},
+	} {
+		if !hasEdge(g, tc[0], tc[1], callgraph.Static) {
+			t.Errorf("missing static edge %s → %s", tc[0], tc[1])
+		}
+	}
+}
+
+func TestInterfaceEdges(t *testing.T) {
+	g, _ := loadGraphFixture(t)
+	for _, impl := range []string{"(" + fxPath + ".Local).Fetch", "(" + fxPath + ".Remote).Fetch"} {
+		if !hasEdge(g, fxPath+".dispatch", impl, callgraph.Interface) {
+			t.Errorf("missing interface edge dispatch → %s", impl)
+		}
+	}
+}
+
+func TestFuncValueEdges(t *testing.T) {
+	g, _ := loadGraphFixture(t)
+	// helper is referenced as a value (apply(helper)), so it is a
+	// candidate target of apply's dynamic call f().
+	n := g.Nodes[fxPath+".helper"]
+	if n == nil || !n.AddrTaken {
+		t.Fatalf("helper should be address-taken")
+	}
+	if !hasEdge(g, fxPath+".apply", fxPath+".helper", callgraph.FuncValue) {
+		t.Errorf("missing funcvalue edge apply → helper")
+	}
+	// stamp is never used as a value: no funcvalue edge may reach it.
+	if hasEdge(g, fxPath+".apply", fxPath+".stamp", callgraph.FuncValue) {
+		t.Errorf("unexpected funcvalue edge apply → stamp (not address-taken)")
+	}
+}
+
+func TestSummaryFixpoint(t *testing.T) {
+	_, table := loadGraphFixture(t)
+	for sym, want := range map[string]string{
+		fxPath + ".stamp":               "time.Now",
+		"(" + fxPath + ".Remote).Fetch": "fx.stamp → time.Now",
+		// The interface method's synthetic entry merges its
+		// implementations; dispatch inherits it without repeating the
+		// method name in the chain.
+		"(" + fxPath + ".Backend).Fetch": "fx.Fetch → fx.stamp → time.Now",
+		fxPath + ".dispatch":             "fx.Fetch → fx.stamp → time.Now",
+	} {
+		s := table[sym]
+		if s == nil {
+			t.Errorf("%s: no summary", sym)
+			continue
+		}
+		if s.WallClock != want {
+			t.Errorf("%s: WallClock = %q, want %q", sym, s.WallClock, want)
+		}
+	}
+	// FuncValue edges carry no effects: apply and its callers stay
+	// clean even though helper is reachable through f().
+	for _, sym := range []string{fxPath + ".apply", fxPath + ".indirect", fxPath + ".direct"} {
+		if s := table[sym]; s == nil || !s.Clean() {
+			t.Errorf("%s: expected a clean summary, got %+v", sym, s)
+		}
+	}
+}
+
+func TestSeedParamPropagation(t *testing.T) {
+	_, table := loadGraphFixture(t)
+	s := table[fxPath+".seeded"]
+	if s == nil {
+		t.Fatalf("seeded: no summary")
+	}
+	if got := s.SeedParams[0]; got != "rng.New (the rng.New seed)" {
+		t.Errorf("seeded: SeedParams[0] = %q, want the rng.New chain", got)
+	}
+}
+
+func TestOwnSummariesExcludeClean(t *testing.T) {
+	pkg, err := analysistest.Load(filepath.Join("testdata", "src", "graph"), fxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := callgraph.Summarize([]*analysis.Package{pkg}, nil)
+	own := callgraph.OwnSummaries(pkg, table)
+	if _, ok := own[fxPath+".direct"]; ok {
+		t.Errorf("OwnSummaries includes the clean function direct")
+	}
+	if _, ok := own[fxPath+".stamp"]; !ok {
+		t.Errorf("OwnSummaries misses stamp's wall-clock effect")
+	}
+	// The facts file must carry the interface method's merged summary
+	// so downstream packages see dispatch effects without our source.
+	if s, ok := own["("+fxPath+".Backend).Fetch"]; !ok || s.WallClock == "" {
+		t.Errorf("OwnSummaries misses the synthetic Backend.Fetch entry: %+v", s)
+	}
+}
+
+func TestStatsAndReachability(t *testing.T) {
+	g, _ := loadGraphFixture(t)
+	st := g.Stats()
+	if st.Functions != 9 {
+		t.Errorf("Functions = %d, want 9", st.Functions)
+	}
+	if st.Interface != 2 {
+		t.Errorf("Interface edges = %d, want 2", st.Interface)
+	}
+	if st.FuncValue != 1 {
+		t.Errorf("FuncValue edges = %d, want 1", st.FuncValue)
+	}
+	// The fixture masquerades as a sim package, so everything it can
+	// reach — including external leaves like time.Now — is in the sim
+	// blast radius.
+	reach := g.SimReachable()
+	if !reach[g.Nodes["time.Now"]] {
+		t.Errorf("time.Now not sim-reachable")
+	}
+	if st.SimReached != len(reach) {
+		t.Errorf("Stats.SimReached = %d, want %d", st.SimReached, len(reach))
+	}
+}

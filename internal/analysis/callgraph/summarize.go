@@ -1,0 +1,244 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"ec2wfsim/internal/analysis"
+)
+
+// maxRounds bounds the fixpoint against a (theoretically impossible)
+// non-converging scan; every effect lattice here is finite and
+// monotone, so real convergence takes a handful of rounds.
+const maxRounds = 64
+
+// Summarize computes function summaries for every in-view function of
+// pkgs, merged over deps (summaries of already-analyzed packages, from
+// vetx facts in vettool mode or nil in whole-program mode). The
+// returned table contains deps plus every in-view function, plus
+// synthetic entries for interface methods dispatched in view (carrying
+// the union of their implementations' wall-clock/env effects).
+//
+// The computation is a fixpoint over the callgraph: each round
+// re-scans the functions whose callees changed in the previous round
+// (worklist over reverse edges), so mutually recursive functions
+// stabilize and a deep chain of helpers converges in rounds
+// proportional to its depth. FuncValue edges carry no effects — see
+// the package comment.
+func Summarize(pkgs []*analysis.Package, deps analysis.SummaryTable) analysis.SummaryTable {
+	g := Build(pkgs)
+	return SummarizeGraph(g, deps)
+}
+
+// SummarizeGraph is Summarize over an already-built graph.
+func SummarizeGraph(g *Graph, deps analysis.SummaryTable) analysis.SummaryTable {
+	table := make(analysis.SummaryTable, len(deps)+len(g.Nodes))
+	for sym, s := range deps {
+		table[sym] = s
+	}
+
+	// Deterministic initial worklist: every in-view function, sorted.
+	var work []*Node
+	for _, n := range g.Nodes {
+		if !n.External() {
+			work = append(work, n)
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].Sym < work[j].Sym })
+
+	inWork := make(map[*Node]bool, len(work))
+	for _, n := range work {
+		inWork[n] = true
+	}
+
+	for round := 0; len(work) > 0 && round < maxRounds; round++ {
+		work = step(work, inWork, g, table)
+	}
+	return table
+}
+
+// step runs one fixpoint round: scan everything on the worklist,
+// refresh the synthetic interface-method entries, then return the
+// callers of every symbol whose summary changed.
+func step(work []*Node, inWork map[*Node]bool, g *Graph, table analysis.SummaryTable) []*Node {
+	var changed []*Node
+	for _, n := range work {
+		inWork[n] = false
+		s := analysis.ScanFunc(n.Pkg, n.Decl, table)
+		if s == nil {
+			continue
+		}
+		if old, ok := table[n.Sym]; !ok || !summaryEqual(old, s) {
+			table[n.Sym] = s
+			changed = append(changed, n)
+		}
+	}
+
+	// Synthetic entries: a call through an interface method inherits
+	// the union of the in-view implementations' effects. Updating the
+	// entry requeues the interface method's callers like any other
+	// summary change.
+	var syms []string
+	for sym := range g.ifaceImpls {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		s := mergedIfaceSummary(sym, g.ifaceImpls[sym], table)
+		if old, ok := table[sym]; !ok || !summaryEqual(old, s) {
+			table[sym] = s
+			if n := g.Nodes[sym]; n != nil {
+				changed = append(changed, n)
+			}
+		}
+	}
+
+	var out []*Node
+	for _, n := range changed {
+		for _, e := range n.In {
+			c := e.Caller
+			if c.External() || inWork[c] {
+				continue
+			}
+			inWork[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sym < out[j].Sym })
+	return out
+}
+
+// mergedIfaceSummary builds the synthetic summary of an interface
+// method from its implementations: the first (by sorted symbol)
+// implementation carrying each effect contributes the chain.
+func mergedIfaceSummary(sym string, impls []*Node, table analysis.SummaryTable) *analysis.FuncSummary {
+	sorted := make([]*Node, len(impls))
+	copy(sorted, impls)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Sym < sorted[j].Sym })
+	s := &analysis.FuncSummary{Sym: sym}
+	for _, impl := range sorted {
+		mergeWallEffects(s, impl.Fn, table[impl.Sym])
+	}
+	return s
+}
+
+// mergeWallEffects folds one implementation's wall-clock/env effects
+// into a synthetic interface-method summary.
+func mergeWallEffects(s *analysis.FuncSummary, fn *types.Func, cs *analysis.FuncSummary) {
+	if cs == nil {
+		return
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	if cs.WallClock != "" && s.WallClock == "" {
+		s.WallClock = name + " → " + cs.WallClock
+	}
+	if cs.EnvRead != "" && s.EnvRead == "" {
+		s.EnvRead = name + " → " + cs.EnvRead
+	}
+}
+
+// summaryEqual mirrors FuncSummary.equal without exporting it.
+func summaryEqual(a, b *analysis.FuncSummary) bool {
+	return a.WallClock == b.WallClock && a.EnvRead == b.EnvRead &&
+		intMapEq(a.SeedParams, b.SeedParams) &&
+		intMapEq(a.OrderedResults, b.OrderedResults) &&
+		intMapEq(a.OrderedParams, b.OrderedParams) &&
+		intMapEq(a.SinkParams, b.SinkParams)
+}
+
+func intMapEq(a, b map[int]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// OwnSummaries extracts the table entries for functions defined in pkg,
+// plus synthetic entries for the methods of interfaces pkg declares
+// (merged over same-package implementations). This is the slice the
+// vettool mode serializes as the package's facts: downstream packages
+// see a dep's transitive effects, including interface dispatch over
+// backends that live next to their interface (the storage.System
+// layout), without access to its source.
+func OwnSummaries(pkg *analysis.Package, table analysis.SummaryTable) map[string]*analysis.FuncSummary {
+	own := make(map[string]*analysis.FuncSummary)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				sym := analysis.FuncSym(obj)
+				if s, ok := table[sym]; ok && !s.Clean() {
+					own[sym] = s
+				}
+			}
+		}
+	}
+	for sym, s := range InterfaceSummaries(pkg, table) {
+		if _, ok := own[sym]; !ok && !s.Clean() {
+			own[sym] = s
+		}
+	}
+	return own
+}
+
+// InterfaceSummaries computes synthetic summaries for the methods of
+// every interface declared in pkg, merging the effects of the concrete
+// implementations also declared in pkg. (Cross-package implementations
+// are covered in whole-program mode by the graph's interface edges; the
+// per-package view is what a facts file can know.)
+func InterfaceSummaries(pkg *analysis.Package, table analysis.SummaryTable) map[string]*analysis.FuncSummary {
+	scope := pkg.Types.Scope()
+	var ifaces []*types.Interface
+	var concrete []types.Type
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if it, ok := t.Underlying().(*types.Interface); ok {
+			if it.NumMethods() > 0 {
+				ifaces = append(ifaces, it)
+			}
+			continue
+		}
+		concrete = append(concrete, t)
+	}
+
+	out := make(map[string]*analysis.FuncSummary)
+	for _, it := range ifaces {
+		for _, t := range concrete {
+			if !types.Implements(t, it) && !types.Implements(types.NewPointer(t), it) {
+				continue
+			}
+			for j := 0; j < it.NumMethods(); j++ {
+				m := it.Method(j)
+				obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, pkg.Types, m.Name())
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				sym := analysis.FuncSym(m)
+				s := out[sym]
+				if s == nil {
+					s = &analysis.FuncSummary{Sym: sym}
+					out[sym] = s
+				}
+				mergeWallEffects(s, fn, table[analysis.FuncSym(fn)])
+			}
+		}
+	}
+	return out
+}

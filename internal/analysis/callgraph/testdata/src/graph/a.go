@@ -1,0 +1,37 @@
+// Package fx exercises every callgraph edge kind (analyzed as
+// ec2wfsim/internal/disk/fx, a simulation package): static calls,
+// interface dispatch, function values, and the effect chains the
+// summary fixpoint must carry across them.
+package fx
+
+import (
+	"time"
+
+	"ec2wfsim/internal/rng"
+)
+
+type Backend interface {
+	Fetch() int
+}
+
+type Local struct{}
+
+func (Local) Fetch() int { return 1 }
+
+type Remote struct{}
+
+func (Remote) Fetch() int { return stamp() }
+
+func stamp() int { return int(time.Now().Unix()) }
+
+func helper() int { return 2 }
+
+func direct() int { return helper() }
+
+func dispatch(b Backend) int { return b.Fetch() }
+
+func apply(f func() int) int { return f() }
+
+func indirect() int { return apply(helper) }
+
+func seeded(seed uint64) *rng.RNG { return rng.New(seed) }

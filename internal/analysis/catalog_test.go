@@ -103,7 +103,10 @@ func fixtureHasSuppression(t *testing.T, name string) bool {
 // TestRuleNamesStable pins the catalog so adding or renaming a rule is
 // a conscious, reviewed act (README and CI docs list these names).
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"norawrand", "maporder", "floataccum", "seedflow", "simgoroutine", "wfdirective"}
+	want := []string{
+		"norawrand", "maporder", "floataccum", "seedflow", "simgoroutine", "wfdirective",
+		"ordertaint", "seedtaint", "walltime",
+	}
 	got := analysis.RuleNames()
 	if len(got) != len(want) {
 		t.Fatalf("RuleNames() = %v, want %v", got, want)

@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestDedupeIdenticalDiagnostics covers the duplicate-collapse in
+// RunPackage: two analyzers (or one analyzer via two code paths)
+// reporting the same message at the same position must surface once.
+func TestDedupeIdenticalDiagnostics(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("a.go", -1, 100)
+	f.SetLines([]int{0, 50})
+	pos, other := f.Pos(10), f.Pos(60)
+
+	ds := []Diagnostic{
+		{Pos: pos, Message: "dup"},
+		{Pos: pos, Message: "dup"},
+		{Pos: pos, Message: "different message"},
+		{Pos: other, Message: "dup"}, // same message, different position
+	}
+	out := dedupe(fset, ds)
+	if len(out) != 3 {
+		t.Fatalf("dedupe kept %d diagnostics, want 3: %+v", len(out), out)
+	}
+	if out[0].Pos != pos || out[0].Message != "dup" ||
+		out[1].Message != "different message" || out[2].Pos != other {
+		t.Errorf("dedupe reordered or dropped the wrong entries: %+v", out)
+	}
+}

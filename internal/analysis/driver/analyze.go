@@ -1,0 +1,142 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/callgraph"
+)
+
+// Finding is one diagnostic in driver output form: resolved position,
+// rule name and message, ready for text/JSON/SARIF rendering and
+// baseline matching. File paths are slash-separated and relative to the
+// analysis root whenever they fall under it.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical go-vet-style line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Result is the outcome of one standalone analysis run.
+type Result struct {
+	Findings []Finding       `json:"findings"`
+	Stats    callgraph.Stats `json:"stats"`
+}
+
+// Analyze runs the standalone whole-program analysis: it loads every
+// module package reachable from patterns, type-checks them in
+// dependency order sharing one type universe, computes interprocedural
+// summaries over the whole-program callgraph, and then runs the
+// analyzers on the packages that matched patterns.
+//
+// Source-checked module packages shadow their export data during
+// type-checking, so a type observed from two packages is one
+// *types.Named and interface satisfaction checks work across package
+// boundaries — which the callgraph's dynamic-dispatch
+// over-approximation relies on.
+func Analyze(dir string, patterns []string, analyzers []*analysis.Analyzer) (*Result, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		exports[p.ImportPath] = p.Export
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		src:      make(map[string]*types.Package),
+		fallback: exportImporter(fset, exports),
+	}
+
+	// `go list -deps` emits dependencies before dependents, so checking
+	// in listed order guarantees every module import is already in
+	// imp.src when its importer is checked.
+	var all []*analysis.Package
+	var targets []*analysis.Package
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || p.Module.Path != analysis.ModulePath || skipPath(p.ImportPath) {
+			continue
+		}
+		names := make([]string, len(p.GoFiles))
+		for i, n := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, n)
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, names)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		if pkg == nil {
+			continue
+		}
+		imp.src[p.ImportPath] = pkg.Types
+		all = append(all, pkg)
+		if len(p.Match) > 0 {
+			targets = append(targets, pkg)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].PkgPath < targets[j].PkgPath })
+
+	g := callgraph.Build(all)
+	table := callgraph.SummarizeGraph(g, nil)
+
+	res := &Result{Findings: []Finding{}, Stats: g.Stats()}
+	absDir, _ := filepath.Abs(dir)
+	for _, pkg := range targets {
+		pkg.Summaries = table
+		for _, d := range analysis.RunPackage(pkg, analyzers) {
+			pos := fset.Position(d.Pos)
+			res.Findings = append(res.Findings, Finding{
+				Rule:    d.Analyzer,
+				File:    relPath(absDir, pos.Filename),
+				Line:    pos.Line,
+				Col:     pos.Column,
+				Message: d.Message,
+			})
+		}
+	}
+	return res, nil
+}
+
+// relPath makes file relative to root (slash form) when it lies inside
+// it; otherwise the path is returned unchanged.
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+func hasDotDotPrefix(p string) bool {
+	return len(p) >= 3 && p[0] == '.' && p[1] == '.' && (p[2] == '/' || p[2] == filepath.Separator)
+}
+
+// moduleImporter resolves module packages to their source-checked
+// *types.Package and everything else through export data, giving the
+// whole standalone run one type universe.
+type moduleImporter struct {
+	src      map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.src[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}

@@ -1,0 +1,32 @@
+package driver
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+)
+
+// TestAnalyzeCleanPackage drives the whole standalone pipeline — go
+// list, export-data loading, source type-checking, callgraph build,
+// summary fixpoint, rule run — over a real module package, which must
+// come out clean (the tree-wide guarantee CI enforces).
+func TestAnalyzeCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	res, err := Analyze("../../..", []string{"./internal/rng", "./internal/flow"}, analysis.Rules())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(res.Findings) != 0 {
+		for _, f := range res.Findings {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if res.Stats.Functions == 0 {
+		t.Errorf("callgraph saw no functions; the loader produced an empty view")
+	}
+	if res.Stats.Static == 0 {
+		t.Errorf("callgraph has no static edges")
+	}
+}

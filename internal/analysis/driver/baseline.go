@@ -1,0 +1,102 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted legacy finding. Line numbers are
+// deliberately absent: baselines must survive unrelated edits to the
+// file, so entries match on (rule, file, message) only.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Reason documents why the finding is accepted rather than fixed.
+	// It is mandatory: an entry without one is a usage error, so every
+	// suppression in the committed baseline stays auditable.
+	Reason string `json:"reason"`
+}
+
+func (e BaselineEntry) key() string { return e.Rule + "\x00" + e.File + "\x00" + e.Message }
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and validates a baseline file. A missing reason on
+// any entry is an error (the caller treats it as a usage failure): the
+// baseline's whole point is that every suppression carries its
+// justification.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Rule == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d is missing rule/file/message", path, i)
+		}
+		if e.Reason == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) has no reason; every baselined finding must document why it is accepted", path, i, e.Rule, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// Apply splits findings against the baseline: fresh findings (not
+// baselined — these fail the run), matched findings (accepted), and
+// stale entries (baselined but no longer produced — the baseline must
+// be pruned so it cannot mask a future regression at the same site).
+func (b *Baseline) Apply(findings []Finding) (fresh, matched []Finding, stale []BaselineEntry) {
+	used := make(map[string]bool, len(b.Entries))
+	known := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		known[e.key()] = true
+	}
+	for _, f := range findings {
+		k := BaselineEntry{Rule: f.Rule, File: f.File, Message: f.Message}.key()
+		if known[k] {
+			used[k] = true
+			matched = append(matched, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Entries {
+		if !used[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, matched, stale
+}
+
+// WriteBaseline writes findings as a baseline file, with a placeholder
+// reason the author must replace — LoadBaseline rejects the file until
+// every entry is justified, so a generated baseline cannot be committed
+// unreviewed by accident.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Entries: []BaselineEntry{}}
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		e := BaselineEntry{Rule: f.Rule, File: f.File, Message: f.Message, Reason: ""}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].key() < b.Entries[j].key() })
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

@@ -1,0 +1,94 @@
+package driver
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineApply(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Rule: "walltime", File: "internal/disk/a.go", Message: "old accepted finding", Reason: "legacy"},
+		{Rule: "seedtaint", File: "internal/wms/b.go", Message: "finding that was fixed", Reason: "legacy"},
+	}}
+	findings := []Finding{
+		{Rule: "walltime", File: "internal/disk/a.go", Line: 10, Message: "old accepted finding"},
+		{Rule: "ordertaint", File: "internal/report/c.go", Line: 3, Message: "brand new finding"},
+	}
+	fresh, matched, stale := b.Apply(findings)
+	if len(fresh) != 1 || fresh[0].Rule != "ordertaint" {
+		t.Errorf("fresh = %+v, want only the ordertaint finding", fresh)
+	}
+	if len(matched) != 1 || matched[0].Rule != "walltime" {
+		t.Errorf("matched = %+v, want only the walltime finding", matched)
+	}
+	if len(stale) != 1 || stale[0].Rule != "seedtaint" {
+		t.Errorf("stale = %+v, want only the fixed seedtaint entry", stale)
+	}
+}
+
+func TestBaselineMatchIgnoresLine(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Rule: "walltime", File: "a.go", Message: "m", Reason: "r"},
+	}}
+	fresh, matched, stale := b.Apply([]Finding{{Rule: "walltime", File: "a.go", Line: 999, Col: 7, Message: "m"}})
+	if len(fresh) != 0 || len(matched) != 1 || len(stale) != 0 {
+		t.Errorf("Apply = (%v, %v, %v), want a line-insensitive match", fresh, matched, stale)
+	}
+}
+
+func TestWriteBaselineRejectedUntilReasoned(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	findings := []Finding{
+		{Rule: "walltime", File: "a.go", Line: 1, Message: "m1"},
+		{Rule: "walltime", File: "a.go", Line: 2, Message: "m1"}, // same site signature: deduped
+		{Rule: "seedtaint", File: "b.go", Line: 3, Message: "m2"},
+	}
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+
+	// A generated baseline has empty reasons and must not load.
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "no reason") {
+		t.Fatalf("LoadBaseline on unreviewed baseline: err = %v, want a missing-reason error", err)
+	}
+
+	// Fill in the reasons; now it round-trips, deduped and sorted.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("wrote %d entries, want 2 (deduped)", len(b.Entries))
+	}
+	for i := range b.Entries {
+		b.Entries[i].Reason = "accepted for the test"
+	}
+	reasoned, _ := json.Marshal(&b)
+	if err := os.WriteFile(path, reasoned, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != 2 {
+		t.Errorf("loaded %d entries, want 2", len(loaded.Entries))
+	}
+}
+
+func TestLoadBaselineRejectsIncompleteEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"entries":[{"rule":"walltime","message":"m","reason":"r"}]}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "missing rule/file/message") {
+		t.Errorf("LoadBaseline = %v, want a missing-field error", err)
+	}
+}

@@ -29,8 +29,6 @@ import (
 	"io"
 	"os"
 	"os/exec"
-	"path/filepath"
-	"sort"
 	"strings"
 
 	"ec2wfsim/internal/analysis"
@@ -132,43 +130,16 @@ func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, goFiles 
 // Run analyzes every module package matching patterns and writes
 // findings to w as file:line:col lines. It returns the number of
 // findings; a non-nil error means the analysis itself could not run.
+// It is the plain-text convenience wrapper over Analyze.
 func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
-	pkgs, err := Load(dir, patterns)
+	res, err := Analyze(dir, patterns, analyzers)
 	if err != nil {
 		return 0, err
 	}
-	exports := make(map[string]string, len(pkgs))
-	var targets []*listPackage
-	for _, p := range pkgs {
-		exports[p.ImportPath] = p.Export
-		if len(p.Match) > 0 && !p.Standard && p.Module != nil && p.Module.Path == analysis.ModulePath {
-			targets = append(targets, p)
-		}
+	for _, f := range res.Findings {
+		fmt.Fprintln(w, f)
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
-
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	findings := 0
-	for _, p := range targets {
-		if skipPath(p.ImportPath) {
-			continue
-		}
-		// go list reports file names relative to the package directory.
-		names := make([]string, len(p.GoFiles))
-		for i, n := range p.GoFiles {
-			names[i] = filepath.Join(p.Dir, n)
-		}
-		pkg, err := typeCheck(fset, imp, p.ImportPath, names)
-		if err != nil {
-			return findings, fmt.Errorf("%s: %v", p.ImportPath, err)
-		}
-		if pkg == nil {
-			continue
-		}
-		findings += report(w, fset, analysis.RunPackage(pkg, analyzers))
-	}
-	return findings, nil
+	return len(res.Findings), nil
 }
 
 // skipPath excludes the lint suite itself and fixture trees from

@@ -1,0 +1,141 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/callgraph"
+)
+
+// Report is the machine-readable output of one wfvet run: the findings
+// that fail the run, the findings accepted by the baseline, and the
+// callgraph statistics of the analyzed program (the audit trail for how
+// much the interprocedural rules actually saw).
+type Report struct {
+	Findings  []Finding       `json:"findings"`
+	Baselined []Finding       `json:"baselined,omitempty"`
+	Stats     callgraph.Stats `json:"stats"`
+}
+
+// WriteText renders the report as canonical file:line:col lines (fresh
+// findings only — baselined ones are accepted by definition).
+func (r *Report) WriteText(w io.Writer) error {
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as one indented JSON object. A clean
+// run emits "findings": [] rather than null so consumers of the CI
+// artifact can index unconditionally.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := *r
+	if out.Findings == nil {
+		out.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// sarif mirrors the fragment of the SARIF 2.1.0 schema wfvet emits —
+// enough for code-scanning UIs to ingest rules, results and positions.
+type sarif struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+	FullDescription  sarifText `json:"fullDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the report in SARIF 2.1.0 form. Fresh findings are
+// level "error"; baselined ones are included as "note" so scanners show
+// the accepted debt without failing on it.
+func (r *Report) WriteSARIF(w io.Writer, analyzers []*analysis.Analyzer) error {
+	doc := sarif{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "wfvet", Rules: []sarifRule{}}},
+			Results: []sarifResult{},
+		}},
+	}
+	for _, a := range analyzers {
+		doc.Runs[0].Tool.Driver.Rules = append(doc.Runs[0].Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+			FullDescription:  sarifText{Text: a.Why},
+		})
+	}
+	emit := func(fs []Finding, level string) {
+		for _, f := range fs {
+			doc.Runs[0].Results = append(doc.Runs[0].Results, sarifResult{
+				RuleID:  f.Rule,
+				Level:   level,
+				Message: sarifText{Text: f.Message},
+				Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				}}},
+			})
+		}
+	}
+	emit(r.Findings, "error")
+	emit(r.Baselined, "note")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}

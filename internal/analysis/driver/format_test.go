@@ -1,0 +1,115 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+)
+
+var testReport = &Report{
+	Findings: []Finding{
+		{Rule: "walltime", File: "internal/disk/a.go", Line: 10, Col: 2, Message: "fresh finding"},
+	},
+	Baselined: []Finding{
+		{Rule: "seedtaint", File: "internal/wms/b.go", Line: 4, Col: 1, Message: "accepted finding"},
+	},
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "walltime", File: "a.go", Line: 3, Col: 7, Message: "m"}
+	if got, want := f.String(), "a.go:3:7: [walltime] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testReport.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "internal/disk/a.go:10:2: [walltime] fresh finding") {
+		t.Errorf("text output missing the fresh finding:\n%s", out)
+	}
+	if strings.Contains(out, "accepted finding") {
+		t.Errorf("text output includes a baselined finding:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testReport.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back.Findings) != 1 || back.Findings[0] != testReport.Findings[0] {
+		t.Errorf("findings did not round-trip: %+v", back.Findings)
+	}
+	if len(back.Baselined) != 1 || back.Baselined[0] != testReport.Baselined[0] {
+		t.Errorf("baselined findings did not round-trip: %+v", back.Baselined)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testReport.WriteSARIF(&buf, analysis.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version %q, %d runs", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "wfvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(analysis.Rules()); got != want {
+		t.Errorf("SARIF carries %d rules, want %d", got, want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("SARIF carries %d results, want 2", len(run.Results))
+	}
+	if run.Results[0].Level != "error" || run.Results[1].Level != "note" {
+		t.Errorf("levels = %q/%q, want error for fresh and note for baselined",
+			run.Results[0].Level, run.Results[1].Level)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/disk/a.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location = %s:%d, want internal/disk/a.go:10", loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+}

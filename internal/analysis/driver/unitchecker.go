@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/callgraph"
 )
 
 // vetConfig mirrors the JSON the go command writes for `go vet
@@ -29,9 +30,9 @@ type vetConfig struct {
 	ImportMap     map[string]string // source import path -> canonical package path
 	PackageFile   map[string]string // package path -> export data file
 	Standard      map[string]bool
-	PackageVetx   map[string]string // unused: wfvet computes no facts
+	PackageVetx   map[string]string // package path -> facts file of an analyzed dep
 	VetxOnly      bool              // dependency pass: only facts wanted
-	VetxOutput    string            // file the tool must write (even if empty)
+	VetxOutput    string            // facts file the tool must write (even if empty)
 	GoVersion     string
 
 	SucceedOnTypecheckFailure bool
@@ -41,7 +42,7 @@ type vetConfig struct {
 // command requires `<tool> version <non-devel-id>` and uses the line
 // verbatim as the tool's build ID, so bump the suffix when analyzer
 // semantics change to invalidate go vet's action cache.
-const Version = "wfvet version go1-wfvet-1"
+const Version = "wfvet version go1-wfvet-2"
 
 // RunVettool implements the vet driver protocol for args (os.Args[1:]).
 // It reports (handled=false) when args do not look like a vettool
@@ -77,35 +78,103 @@ func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 1, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
-	// The go command caches the vetx file as this package's vet
-	// output; it must exist even though wfvet computes no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("wfvet: no facts\n"), 0o666); err != nil {
-			return 1, err
+
+	// Facts: module packages publish their function summaries through
+	// the vetx channel, so dependents see transitive wall-clock / seed /
+	// map-order effects without access to the dep's source. The Go
+	// package DAG guarantees dep facts are already on disk (PackageVetx)
+	// when this unit runs, and because summaries are flattened, direct
+	// deps' facts carry everything transitive.
+	var pkg *analysis.Package
+	var table analysis.SummaryTable
+	fset := token.NewFileSet()
+	if moduleUnit(cfg) {
+		imp := exportImporter(fset, resolveImports(cfg))
+		p, err := typeCheck(fset, imp, cfg.ImportPath, cfg.GoFiles)
+		if err != nil {
+			if !cfg.SucceedOnTypecheckFailure && !cfg.VetxOnly && analyzable(cfg) {
+				writeFacts(cfg, nil) // keep the protocol satisfied even on failure
+				return 1, fmt.Errorf("%s: %v", cfg.ImportPath, err)
+			}
+		} else if p != nil {
+			pkg = p
+			table = callgraph.Summarize([]*analysis.Package{p}, readDepSummaries(cfg))
 		}
 	}
-	if cfg.VetxOnly || !analyzable(cfg) {
+	if err := writeFacts(cfg, factsOf(pkg, table)); err != nil {
+		return 1, err
+	}
+	if cfg.VetxOnly || pkg == nil || !analyzable(cfg) {
 		return 0, nil
 	}
 
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, resolveImports(cfg))
-	pkg, err := typeCheck(fset, imp, cfg.ImportPath, cfg.GoFiles)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0, nil
-		}
-		return 1, fmt.Errorf("%s: %v", cfg.ImportPath, err)
-	}
-	if pkg == nil {
-		return 0, nil
-	}
+	pkg.Summaries = table
 	if n := report(os.Stderr, fset, analysis.RunPackage(pkg, analyzers)); n > 0 {
 		// Mirror the standard vet tool: diagnostics exit 2, so the go
 		// command fails the build and relays stderr.
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// moduleUnit reports whether the unit is a non-test package of this
+// module — the ones whose summaries are worth computing and publishing.
+// (Unlike analyzable, this includes the lint suite itself: cmd/wfvet
+// imports it, so its facts file must exist with real content.)
+func moduleUnit(cfg vetConfig) bool {
+	return cfg.ModulePath == analysis.ModulePath &&
+		!strings.Contains(cfg.ID, " [") &&
+		!strings.HasSuffix(cfg.ImportPath, ".test")
+}
+
+// factsOf serializes the package's own summaries (nil-safe).
+func factsOf(pkg *analysis.Package, table analysis.SummaryTable) map[string]*analysis.FuncSummary {
+	if pkg == nil {
+		return nil
+	}
+	return callgraph.OwnSummaries(pkg, table)
+}
+
+// writeFacts writes the unit's facts file: a JSON object mapping
+// function symbols to summaries (empty for packages with nothing to
+// say). The go command caches and content-hashes this file, so it must
+// exist and be deterministic.
+func writeFacts(cfg vetConfig, facts map[string]*analysis.FuncSummary) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	if facts == nil {
+		facts = map[string]*analysis.FuncSummary{}
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, append(data, '\n'), 0o666)
+}
+
+// readDepSummaries merges the facts files of every dependency the go
+// command provides. Unreadable or non-JSON files (stale caches from
+// older wfvet versions, stdlib stubs) are skipped: a missing summary
+// degrades to extern-only resolution, never to an error.
+func readDepSummaries(cfg vetConfig) analysis.SummaryTable {
+	table := make(analysis.SummaryTable)
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		var facts map[string]*analysis.FuncSummary
+		if err := json.Unmarshal(data, &facts); err != nil {
+			continue
+		}
+		for sym, s := range facts {
+			if s != nil {
+				table[sym] = s
+			}
+		}
+	}
+	return table
 }
 
 // analyzable reports whether the package described by cfg is one wfvet

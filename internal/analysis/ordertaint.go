@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OrderTaint is the interprocedural companion of maporder: it tracks
+// map-iteration order across call boundaries through the function
+// summaries the callgraph fixpoint computes. Where maporder flags
+// order-sensitive work inside the range-over-map loop itself, ordertaint
+// flags the hazards that only become visible once a helper is involved —
+// a slice returned by a callee that built it in map order and is then
+// printed, written, scheduled or folded here; or a locally map-ordered
+// slice handed to a callee that feeds it into such a sink.
+//
+// The division of labor is strict so the two rules never double-report:
+// ordertaint only fires when at least one call boundary separates the
+// map range from the sink.
+var OrderTaint = &Analyzer{
+	Name: "ordertaint",
+	Doc:  "flag map-iteration order crossing a call boundary into an output/event/accumulation sink",
+	Why: "a helper that returns keys collected from a map looks innocent at every " +
+		"single-function view, but printing or scheduling from its result replays the " +
+		"map's randomized order into golden files and the event queue. Summaries of " +
+		"callee effects make the cross-call path visible.",
+	Run: runOrderTaint,
+}
+
+func runOrderTaint(pass *Pass) {
+	pkg := &Package{
+		PkgPath: pass.PkgPath, Fset: pass.Fset, Files: pass.Files,
+		Types: pass.Pkg, Info: pass.Info, Summaries: pass.Summaries,
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkOrderTaint(pass, pkg, fn)
+		}
+	}
+}
+
+// calleeTainted reports whether the taint chain originated in a callee
+// (crossed a call boundary) rather than in a local map range. Local
+// origins read "built while ranging a map at line N"; callee-derived
+// chains are prefixed with the callee's name by chain().
+func calleeTainted(why string) bool {
+	return !strings.HasPrefix(why, "built while ranging")
+}
+
+func checkOrderTaint(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
+	// No early-out on empty local taint: taintOf also derives taint
+	// directly from call expressions (fmt.Println(keys(m)), range over
+	// keys(m)), which need no tainted local at all.
+	taint := localTaint(pkg, fn.Body, pass.Summaries)
+	inspectSkippingFuncLits(fn.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			checkOrderTaintCall(pass, pkg, st, taint)
+		case *ast.RangeStmt:
+			// Ranging a callee-built map-ordered slice with an
+			// order-sensitive body replays the callee's map order.
+			if isMapType(pass.Info, st.X) {
+				return // the range itself is maporder's domain
+			}
+			why := taintOf(pkg, st.X, taint, pass.Summaries)
+			if why == "" || !calleeTainted(why) {
+				return
+			}
+			if desc, found := orderSensitiveBody(pkg, st, pass.Summaries); found {
+				pass.Reportf(st.Pos(),
+					"range over map-ordered result of %s reaches %s: element order varies per run; sort before iterating", why, desc)
+			}
+		}
+	})
+}
+
+// checkOrderTaintCall reports tainted arguments delivered to an order
+// sink at this call: an intrinsic sink (print/write/schedule), or a
+// callee whose summary marks the parameter as reaching one.
+func checkOrderTaintCall(pass *Pass, pkg *Package, call *ast.CallExpr, taint map[types.Object]string) {
+	callee := calleeFunc(pass.Info, call)
+	sinkDesc, intrinsic := orderSinkCall(pass.Info, call)
+	var cs *FuncSummary
+	if !intrinsic {
+		cs = pass.Summaries.Lookup(callee)
+	}
+	for j, arg := range call.Args {
+		why := taintOf(pkg, arg, taint, pass.Summaries)
+		if why == "" {
+			continue
+		}
+		switch {
+		case intrinsic && calleeTainted(why):
+			// Local-origin taint into a local sink after the loop is a
+			// single-function pattern; only cross-call taint is ours.
+			pass.Reportf(arg.Pos(),
+				"map-ordered value (%s) reaches %s: order varies per run; sort before emitting", why, sinkDesc)
+		case cs != nil && cs.SinkParams[j] != "":
+			// The sink lives inside the callee — always a call-boundary
+			// crossing, whatever the taint's origin.
+			pass.Reportf(arg.Pos(),
+				"map-ordered value (%s) flows into %s of %s: order varies per run; sort before the call",
+				why, cs.SinkParams[j], callee.Name())
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestOrderTaint(t *testing.T) {
+	analysistest.Run(t, analysis.OrderTaint, "ordertaint", "ec2wfsim/internal/report/fx")
+}
+
+func TestOrderTaintClean(t *testing.T) {
+	analysistest.Run(t, analysis.OrderTaint, "ordertaint_clean", "ec2wfsim/internal/units/fx")
+}

@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+)
+
+func TestSelectRulesAll(t *testing.T) {
+	rules, err := analysis.SelectRules("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != len(analysis.Rules()) {
+		t.Errorf("empty spec selected %d rules, want the full catalog of %d", len(rules), len(analysis.Rules()))
+	}
+}
+
+func TestSelectRulesSubsetKeepsCatalogOrder(t *testing.T) {
+	// Spec order is walltime first, but the catalog orders seedtaint
+	// before walltime; selection follows the catalog.
+	rules, err := analysis.SelectRules(" walltime , seedtaint ,seedtaint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "seedtaint" || rules[1].Name != "walltime" {
+		names := make([]string, len(rules))
+		for i, a := range rules {
+			names[i] = a.Name
+		}
+		t.Errorf("SelectRules = %v, want [seedtaint walltime]", names)
+	}
+}
+
+func TestSelectRulesUnknownName(t *testing.T) {
+	_, err := analysis.SelectRules("walltime,wibble")
+	if err == nil {
+		t.Fatal("expected an error for an unknown rule name")
+	}
+	var unknown *analysis.UnknownRuleError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error type = %T, want *UnknownRuleError", err)
+	}
+	if unknown.Name != "wibble" {
+		t.Errorf("UnknownRuleError.Name = %q, want wibble", unknown.Name)
+	}
+	// The message must teach the valid vocabulary, mirroring
+	// scenario.UnknownNameError.
+	for _, name := range analysis.RuleNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid rule %q", err, name)
+		}
+	}
+}

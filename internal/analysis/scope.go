@@ -60,6 +60,10 @@ func inSimPackage(pkgPath string) bool {
 	return false
 }
 
+// InSimPackage is the exported form of inSimPackage, for the callgraph
+// package's reachability seeds.
+func InSimPackage(pkgPath string) bool { return inSimPackage(pkgPath) }
+
 // inModule reports whether pkgPath belongs to this module at all, and
 // excludes the lint tooling itself plus test fixtures: the analyzers
 // necessarily name the very identifiers they hunt for.
@@ -75,6 +79,15 @@ func inModule(pkgPath string) bool {
 		return false
 	}
 	return true
+}
+
+// isSeedDeriver reports whether pkgPath is (inside) the scenario layer —
+// the sanctioned laundering point for raw seed material. Seed-parameter
+// propagation and the seedtaint rule both stop there: handing a seed to
+// scenario is how a run is configured, not how one is smuggled.
+func isSeedDeriver(pkgPath string) bool {
+	p := rel(pkgPath)
+	return p == "internal/scenario" || strings.HasPrefix(p, "internal/scenario/")
 }
 
 // isSeedOwner reports whether pkgPath is (inside) a package that may

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeedTaint is the interprocedural companion of seedflow: it follows
+// seed material across call boundaries through the SeedParams entries of
+// function summaries. Where seedflow flags `rng.New(0x1234)` at the
+// construction site, seedtaint flags the laundered versions — a literal
+// passed to a module helper whose parameter (transitively) reaches
+// rng.New or a *Seed field, a time-derived value used the same way, and
+// direct constant writes to *Seed fields of simulation-package options.
+//
+// Division of labor: seedflow owns direct rng.New calls; seedtaint only
+// fires when the seed travels through at least one module function, or
+// is planted in a *Seed struct field. The idiomatic zero-guard default
+//
+//	if opts.FailureSeed == 0 { opts.FailureSeed = DefaultFailureSeed }
+//
+// is exempt: it fills a documented fallback only when the scenario did
+// not supply a seed, which keeps pairing intact for every configured run.
+var SeedTaint = &Analyzer{
+	Name: "seedtaint",
+	Doc:  "flag literal or wall-clock seeds flowing into rng/sim entry points across calls",
+	Why: "seed pairing survives only when every stream derives from the scenario's seed " +
+		"schedule. A constant or time-derived seed smuggled through a helper or planted in " +
+		"an options struct decorrelates baseline/treatment runs exactly like a literal " +
+		"rng.New seed — but no single-function rule can see it.",
+	Scope: func(pkgPath string) bool { return !isSeedOwner(pkgPath) },
+	Run:   runSeedTaint,
+}
+
+func runSeedTaint(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			guards := zeroGuardRanges(pass.Info, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.CallExpr:
+					checkSeedTaintCall(pass, st)
+				case *ast.AssignStmt:
+					checkSeedFieldAssign(pass, st, guards)
+				case *ast.CompositeLit:
+					checkSeedFieldLit(pass, st)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSeedTaintCall flags constant or wall-clock-derived arguments in
+// the seed-parameter positions of module-internal callees. Extern
+// callees (rng.New itself) are seedflow's domain and skipped — a
+// summary retrieved from the table proper means the callee is in the
+// analyzed module, i.e. the seed crossed at least one call boundary.
+func checkSeedTaintCall(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	// Handing seed material to the scenario layer is how a run is
+	// configured — a literal master seed there is sanctioned, and
+	// scenario's own derivation helpers necessarily carry SeedParams.
+	if isSeedDeriver(pkgPathOf(callee)) {
+		return
+	}
+	cs := pass.Summaries[FuncSym(callee)]
+	if cs == nil || len(cs.SeedParams) == 0 {
+		return
+	}
+	for j, why := range cs.SeedParams {
+		if j >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[j]
+		if v := ConstValue(pass.Info, arg); v != nil {
+			// Zero is the module-wide "use the documented default"
+			// convention (mirrored by the zero-guard field exemption).
+			if v.ExactString() == "0" {
+				continue
+			}
+			pass.Reportf(arg.Pos(),
+				"literal seed %s flows through %s into %s: constant seeds bypass scenario salting and break pairing; derive from the scenario seed schedule",
+				v.ExactString(), callee.Name(), why)
+			continue
+		}
+		if wc := wallClockOf(pass, arg); wc != "" {
+			pass.Reportf(arg.Pos(),
+				"wall-clock-derived seed (%s) flows through %s into %s: time-based seeds make runs irreproducible; derive from the scenario seed schedule",
+				wc, callee.Name(), why)
+		}
+	}
+}
+
+// wallClockOf reports the wall-clock chain when e is (rooted in) a call
+// whose callee can read the wall clock.
+func wallClockOf(pass *Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	cs := pass.Summaries.Lookup(calleeFunc(pass.Info, call))
+	if cs == nil || cs.WallClock == "" {
+		return ""
+	}
+	return cs.WallClock
+}
+
+// checkSeedFieldAssign flags constant writes to *Seed fields of
+// simulation-package structs outside a zero-guard.
+func checkSeedFieldAssign(pass *Pass, st *ast.AssignStmt, guards []guardRange) {
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		field, ok := seedFieldSel(pass.Info, lhs)
+		if !ok {
+			continue
+		}
+		v := ConstValue(pass.Info, st.Rhs[i])
+		if v == nil {
+			continue
+		}
+		if guardedZeroDefault(guards, st.Pos(), field) {
+			continue
+		}
+		pass.Reportf(st.Pos(),
+			"constant seed %s assigned to %s: fixed seeds bypass scenario salting; take the seed from scenario options (a zero-guarded default `if x.%s == 0` is the sanctioned fallback shape)",
+			v.ExactString(), field, fieldBase(field))
+	}
+}
+
+// checkSeedFieldLit flags non-zero constant seeds planted in composite
+// literals (`wms.Options{FailureSeed: 0x1234}`). An explicit zero is the
+// "use the default" convention and stays silent.
+func checkSeedFieldLit(pass *Pass, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		field, ok := seedFieldKey(pass.Info, lit, kv)
+		if !ok {
+			continue
+		}
+		v := ConstValue(pass.Info, kv.Value)
+		if v == nil || v.ExactString() == "0" {
+			continue
+		}
+		pass.Reportf(kv.Pos(),
+			"constant seed %s assigned to %s: fixed seeds bypass scenario salting; take the seed from scenario options",
+			v.ExactString(), field)
+	}
+}
+
+// guardRange records the body span of one `if x.FooSeed == 0 { ... }`
+// statement and which field it guards.
+type guardRange struct {
+	field  string
+	lo, hi token.Pos
+}
+
+// zeroGuardRanges collects the zero-guard if-statements in body: a
+// condition comparing a seed field against a constant (the documented
+// default-fallback idiom). Assignments to the same field inside the
+// guarded block are exempt from the constant-seed check.
+func zeroGuardRanges(info *types.Info, body *ast.BlockStmt) []guardRange {
+	var out []guardRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		be, ok := ast.Unparen(ifst.Cond).(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		var fieldExpr ast.Expr
+		switch {
+		case isZeroConst(info, be.Y):
+			fieldExpr = be.X
+		case isZeroConst(info, be.X):
+			fieldExpr = be.Y
+		default:
+			return true
+		}
+		if field, ok := seedFieldSel(info, fieldExpr); ok {
+			out = append(out, guardRange{field: field, lo: ifst.Body.Pos(), hi: ifst.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	v := ConstValue(info, e)
+	return v != nil && v.ExactString() == "0"
+}
+
+// guardedZeroDefault reports whether pos falls inside the guarded block
+// of a zero-guard for field.
+func guardedZeroDefault(guards []guardRange, pos token.Pos, field string) bool {
+	for _, g := range guards {
+		if g.field == field && g.lo <= pos && pos < g.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldBase strips the "pkg." qualifier from a seed-field description
+// for use in the suggested guard snippet.
+func fieldBase(field string) string {
+	for i := 0; i < len(field); i++ {
+		if field[i] == '.' {
+			return field[i+1:]
+		}
+	}
+	return field
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestSeedTaint(t *testing.T) {
+	analysistest.Run(t, analysis.SeedTaint, "seedtaint", "ec2wfsim/internal/wms/fx")
+}
+
+func TestSeedTaintClean(t *testing.T) {
+	analysistest.Run(t, analysis.SeedTaint, "seedtaint_clean", "ec2wfsim/internal/storage/fx")
+}

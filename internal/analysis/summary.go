@@ -1,0 +1,777 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncSummary records the determinism-relevant effects of one function,
+// flattened over everything it (statically) calls. Summaries are the
+// currency of the interprocedural rules: the callgraph package computes
+// them bottom-up to a fixpoint, the driver carries them across package
+// boundaries (in memory in standalone mode, serialized through vetx
+// facts files in `go vet -vettool` mode), and ordertaint / seedtaint /
+// walltime consult them at call sites.
+//
+// Every effect field doubles as its own explanation: an empty string or
+// missing map entry means "clean", anything else is the human-readable
+// chain ("stamp → time.Now") shown in diagnostics. Because callee
+// effects are folded into the caller's summary at computation time, a
+// consumer only ever needs the summaries of functions it can name
+// directly — transitive information is already flattened in.
+type FuncSummary struct {
+	// Sym is the canonical symbol, types.Func.FullName form:
+	// "pkg/path.Func" or "(*pkg/path.Recv).Method".
+	Sym string `json:"sym"`
+
+	// WallClock is non-empty when calling the function can read the
+	// wall clock (time.Now/Since/Until), directly or transitively.
+	// The value is the call chain that reaches the read.
+	WallClock string `json:"wall_clock,omitempty"`
+
+	// EnvRead is non-empty when the function can read the process
+	// environment (os.Getenv and friends), directly or transitively.
+	EnvRead string `json:"env_read,omitempty"`
+
+	// SeedParams maps parameter indices (0-based, receiver excluded)
+	// that flow into a seed sink — rng.New's seed argument, a
+	// *Seed-suffixed field of a simulation-package struct, or a
+	// callee's seed parameter — to the chain describing the sink.
+	SeedParams map[int]string `json:"seed_params,omitempty"`
+
+	// OrderedResults maps result indices to the origin chain when the
+	// corresponding return value carries map-iteration order (a slice
+	// built by ranging a map without a subsequent sort, possibly
+	// through intermediate calls).
+	OrderedResults map[int]string `json:"ordered_results,omitempty"`
+
+	// OrderedParams maps parameter indices of pointer parameters the
+	// function fills in map-iteration order (out-parameter writes).
+	OrderedParams map[int]string `json:"ordered_params,omitempty"`
+
+	// SinkParams maps parameter indices whose contents' order reaches
+	// a determinism-sensitive sink (output writer, printed output,
+	// simulator event scheduling) inside the function.
+	SinkParams map[int]string `json:"sink_params,omitempty"`
+}
+
+// Clean reports whether the summary records no effects at all.
+func (s *FuncSummary) Clean() bool {
+	return s.WallClock == "" && s.EnvRead == "" &&
+		len(s.SeedParams) == 0 && len(s.OrderedResults) == 0 &&
+		len(s.OrderedParams) == 0 && len(s.SinkParams) == 0
+}
+
+// equal reports whether two summaries record identical effects (used by
+// the fixpoint loop to detect convergence).
+func (s *FuncSummary) equal(o *FuncSummary) bool {
+	return s.WallClock == o.WallClock && s.EnvRead == o.EnvRead &&
+		intMapEqual(s.SeedParams, o.SeedParams) &&
+		intMapEqual(s.OrderedResults, o.OrderedResults) &&
+		intMapEqual(s.OrderedParams, o.OrderedParams) &&
+		intMapEqual(s.SinkParams, o.SinkParams)
+}
+
+func intMapEqual(a, b map[int]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SummaryTable maps canonical function symbols to their summaries. The
+// zero value (nil) behaves as an empty table for lookups.
+type SummaryTable map[string]*FuncSummary
+
+// Lookup resolves fn against the table, falling back to the built-in
+// extern summaries (time.Now, os.Getenv, rng.New, ...) for functions
+// outside the analyzed view. It returns nil for unknown functions,
+// which consumers must treat as effect-free.
+func (t SummaryTable) Lookup(fn *types.Func) *FuncSummary {
+	if fn == nil {
+		return nil
+	}
+	if s, ok := t[FuncSym(fn)]; ok {
+		// A from-source scan can come up clean for a function whose
+		// effect is curated knowledge: rng.New's seed parameter is not
+		// derivable from its body. The curated entry still applies.
+		if !s.Clean() {
+			return s
+		}
+		if e := externSummary(fn); e != nil {
+			return e
+		}
+		return s
+	}
+	return externSummary(fn)
+}
+
+// FuncSym returns the canonical symbol for fn, used as the SummaryTable
+// key: types.Func.FullName form, stable across loads.
+func FuncSym(fn *types.Func) string { return fn.FullName() }
+
+// externSummary hands out built-in summaries for functions outside the
+// analyzed source view (the standard library, mainly). The analyzed
+// module only ever reaches nondeterminism through these roots, so the
+// table is deliberately small; unknown externs are treated as clean.
+func externSummary(fn *types.Func) *FuncSummary {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil // no extern method carries effects we track
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return &FuncSummary{Sym: FuncSym(fn), WallClock: "time." + fn.Name()}
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ", "Hostname":
+			return &FuncSummary{Sym: FuncSym(fn), EnvRead: "os." + fn.Name()}
+		}
+	case ModulePath + "/internal/rng":
+		if fn.Name() == "New" {
+			return &FuncSummary{Sym: FuncSym(fn), SeedParams: map[int]string{0: "the rng.New seed"}}
+		}
+	}
+	return nil
+}
+
+// ScanFunc computes fn's summary from its body, resolving callee
+// effects through table (which the callgraph fixpoint grows until
+// scanning is stable). The scan is flow-insensitive and excludes the
+// bodies of function literals: a literal's effects belong to the
+// literal, and reach the enclosing function's callers only if it is
+// invoked — which the walltime handler check and the callgraph's
+// function-value edges cover separately.
+func ScanFunc(pkg *Package, fn *ast.FuncDecl, table SummaryTable) *FuncSummary {
+	obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+	if obj == nil || fn.Body == nil {
+		return nil
+	}
+	sum := &FuncSummary{Sym: FuncSym(obj)}
+	sig := obj.Type().(*types.Signature)
+
+	params := make(map[types.Object]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		params[sig.Params().At(i)] = i
+	}
+	results := make(map[types.Object]int, sig.Results().Len())
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); v.Name() != "" {
+			results[v] = i
+		}
+	}
+
+	taint := localTaint(pkg, fn.Body, table)
+
+	inspectSkippingFuncLits(fn.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			scanCallEffects(pkg, st, table, sum, params)
+		case *ast.AssignStmt:
+			scanSeedFieldWrites(pkg, st, sum, params)
+		case *ast.CompositeLit:
+			scanSeedFieldLit(pkg, st, sum, params)
+		case *ast.ReturnStmt:
+			for i, res := range st.Results {
+				if why := taintOf(pkg, res, taint, table); why != "" {
+					setEffect(&sum.OrderedResults, i, why)
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging a parameter's contents with an order-sensitive
+			// body makes the parameter itself a sink.
+			if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+				if i, ok := params[pkg.Info.Uses[id]]; ok && !isMapType(pkg.Info, st.X) {
+					if desc, found := orderSensitiveBody(pkg, st, table); found {
+						setEffect(&sum.SinkParams, i, desc)
+					}
+				}
+			}
+		}
+	})
+
+	// Named results assigned a tainted value carry the taint out even
+	// through a bare return.
+	for obj, i := range results {
+		if why, ok := taint[obj]; ok {
+			setEffect(&sum.OrderedResults, i, why)
+		}
+	}
+
+	// Pointer out-parameters filled in map order.
+	scanOrderedParamWrites(pkg, fn.Body, taint, params, sum)
+
+	return sum
+}
+
+// scanCallEffects folds one call site into the summary: wall-clock and
+// env taint from the callee, plus seed/sink parameter propagation when
+// an argument expression uses one of fn's own parameters.
+func scanCallEffects(pkg *Package, call *ast.CallExpr, table SummaryTable, sum *FuncSummary, params map[types.Object]int) {
+	callee := calleeFunc(pkg.Info, call)
+	cs := table.Lookup(callee)
+	if cs == nil {
+		// Even without a callee summary the call can be an intrinsic
+		// order sink for parameter propagation (writer methods are
+		// matched by name, not symbol).
+		propagateSinkParams(pkg, call, table, sum, params)
+		return
+	}
+	if cs.WallClock != "" && sum.WallClock == "" {
+		sum.WallClock = chain(callee, cs.WallClock)
+	}
+	if cs.EnvRead != "" && sum.EnvRead == "" {
+		sum.EnvRead = chain(callee, cs.EnvRead)
+	}
+	// Seed-sink parameters: passing one of our params into a callee's
+	// seed parameter makes ours a seed parameter too. The chain stops
+	// at the scenario layer (the sanctioned laundering point for raw
+	// seed material) and only integer parameters propagate — a struct
+	// whose field feeds a seed must not taint everything its callers
+	// build the struct from. rng.New is deliberately NOT a stopping
+	// point: a helper forwarding its argument there is exactly the
+	// laundering seedtaint exists to see through.
+	if !isSeedDeriver(pkgPathOf(callee)) {
+		for j, why := range cs.SeedParams {
+			if j >= len(call.Args) {
+				continue
+			}
+			for obj, i := range params {
+				v := obj.(*types.Var)
+				if !isIntegerType(v.Type()) {
+					continue
+				}
+				if exprUsesObj(pkg.Info, call.Args[j], v) {
+					setEffect(&sum.SeedParams, i, chain(callee, why))
+				}
+			}
+		}
+	}
+	for j, why := range cs.SinkParams {
+		if j >= len(call.Args) {
+			continue
+		}
+		for obj, i := range params {
+			if exprUsesObj(pkg.Info, call.Args[j], obj.(*types.Var)) {
+				setEffect(&sum.SinkParams, i, chain(callee, why))
+			}
+		}
+	}
+	propagateSinkParams(pkg, call, table, sum, params)
+}
+
+// propagateSinkParams marks parameters used in an intrinsic order-sink
+// position (print calls, writer methods, sim scheduling) of call.
+func propagateSinkParams(pkg *Package, call *ast.CallExpr, table SummaryTable, sum *FuncSummary, params map[types.Object]int) {
+	desc, ok := orderSinkCall(pkg.Info, call)
+	if !ok {
+		return
+	}
+	for _, arg := range call.Args {
+		for obj, i := range params {
+			if exprUsesObj(pkg.Info, arg, obj.(*types.Var)) {
+				setEffect(&sum.SinkParams, i, desc)
+			}
+		}
+	}
+}
+
+// scanSeedFieldWrites marks parameters assigned to a *Seed field of a
+// simulation-package struct ("x.FailureSeed = seed"): such fields carry
+// raw seed material into the simulator, so the parameter is a seed sink.
+func scanSeedFieldWrites(pkg *Package, st *ast.AssignStmt, sum *FuncSummary, params map[types.Object]int) {
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		field, ok := seedFieldSel(pkg.Info, lhs)
+		if !ok {
+			continue
+		}
+		for obj, pi := range params {
+			v := obj.(*types.Var)
+			if isIntegerType(v.Type()) && exprUsesObj(pkg.Info, st.Rhs[i], v) {
+				setEffect(&sum.SeedParams, pi, "the "+field+" field")
+			}
+		}
+	}
+}
+
+// scanSeedFieldLit does the same for composite literals:
+// wms.Options{FailureSeed: seed}.
+func scanSeedFieldLit(pkg *Package, lit *ast.CompositeLit, sum *FuncSummary, params map[types.Object]int) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		field, ok := seedFieldKey(pkg.Info, lit, kv)
+		if !ok {
+			continue
+		}
+		for obj, pi := range params {
+			v := obj.(*types.Var)
+			if isIntegerType(v.Type()) && exprUsesObj(pkg.Info, kv.Value, v) {
+				setEffect(&sum.SeedParams, pi, "the "+field+" field")
+			}
+		}
+	}
+}
+
+// isIntegerType reports whether t is (or is named over) a basic integer
+// type — the only shape raw seed material takes.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && isInteger(b.Kind())
+}
+
+// scanOrderedParamWrites records pointer parameters assigned or
+// append-extended with map-ordered contents (*out = append(*out, k)
+// under a map range, or *out = tainted).
+func scanOrderedParamWrites(pkg *Package, body *ast.BlockStmt, taint map[types.Object]string, params map[types.Object]int, sum *FuncSummary) {
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) {
+				break
+			}
+			star, ok := ast.Unparen(lhs).(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(star.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			pi, isParam := params[pkg.Info.Uses[id]]
+			if !isParam {
+				continue
+			}
+			if why := taintOf(pkg, st.Rhs[i], taint, nil); why != "" {
+				setEffect(&sum.OrderedParams, pi, why)
+			} else if enclosingMapRange(pkg, body, st.Pos()) && isBuiltinAppend(pkg.Info, st.Rhs[i]) {
+				setEffect(&sum.OrderedParams, pi, "filled in map-iteration order")
+			}
+		}
+	})
+}
+
+// localTaint computes the set of local variables carrying map-iteration
+// order in fn's body: slices appended to while ranging a map, values
+// returned by callees whose results are map-ordered, and strings
+// serialized from either. Variables that are passed to a sort.* /
+// slices.Sort* call anywhere in the body are considered neutralized and
+// never tainted (the collect-then-sort idiom, matching maporder). The
+// map value is the origin chain used in diagnostics.
+func localTaint(pkg *Package, body *ast.BlockStmt, table SummaryTable) map[types.Object]string {
+	taint := make(map[types.Object]string)
+	for changed := true; changed; {
+		changed = false
+		inspectSkippingFuncLits(body, func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.RangeStmt:
+				if !isMapType(pkg.Info, st.X) {
+					return
+				}
+				lo, hi := st.Pos(), st.End()
+				inspectSkippingFuncLits(st.Body, func(n ast.Node) {
+					as, ok := n.(*ast.AssignStmt)
+					if !ok {
+						return
+					}
+					for i, rhs := range as.Rhs {
+						if i >= len(as.Lhs) || !isBuiltinAppend(pkg.Info, rhs) {
+							continue
+						}
+						obj := rootObj(pkg.Info, as.Lhs[i])
+						if obj == nil || !declaredOutside(obj, lo, hi) {
+							continue
+						}
+						pos := pkg.Fset.Position(st.Pos())
+						if setTaint(taint, obj, fmt.Sprintf("built while ranging a map at line %d", pos.Line)) {
+							changed = true
+						}
+					}
+				})
+			case *ast.AssignStmt:
+				changed = taintAssign(pkg, st, taint, table) || changed
+			}
+		})
+	}
+	// Sorting anywhere in the body neutralizes the variable.
+	for obj := range taint {
+		if v, ok := obj.(*types.Var); ok && sortsObj(pkg.Info, body, v) {
+			delete(taint, obj)
+		}
+	}
+	return taint
+}
+
+// taintAssign propagates taint through one assignment, reporting
+// whether anything new was learned.
+func taintAssign(pkg *Package, st *ast.AssignStmt, taint map[types.Object]string, table SummaryTable) bool {
+	changed := false
+	// Multi-value call: x, y := f().
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			cs := table.Lookup(calleeFunc(pkg.Info, call))
+			if cs != nil {
+				for j, why := range cs.OrderedResults {
+					if j >= len(st.Lhs) {
+						continue
+					}
+					if obj := assignTarget(pkg.Info, st.Lhs[j]); obj != nil {
+						changed = setTaint(taint, obj, chain(calleeFunc(pkg.Info, call), why)) || changed
+					}
+				}
+			}
+		}
+		return changed
+	}
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) {
+			break
+		}
+		why := taintOf(pkg, rhs, taint, table)
+		if why == "" {
+			continue
+		}
+		if obj := assignTarget(pkg.Info, st.Lhs[i]); obj != nil {
+			changed = setTaint(taint, obj, why) || changed
+		}
+	}
+	return changed
+}
+
+// taintOf evaluates the map-order taint of expression e: a tainted
+// local, a call returning a map-ordered result, an append extending a
+// tainted slice, a slice of a tainted slice, or a string serialized
+// from tainted elements (strings.Join, fmt.Sprint*). Empty means clean.
+func taintOf(pkg *Package, e ast.Expr, taint map[types.Object]string, table SummaryTable) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[v]; obj != nil {
+			return taint[obj]
+		}
+	case *ast.SliceExpr:
+		return taintOf(pkg, v.X, taint, table)
+	case *ast.CallExpr:
+		if isBuiltinAppend(pkg.Info, v) {
+			for _, arg := range v.Args {
+				if why := taintOf(pkg, arg, taint, table); why != "" {
+					return why
+				}
+			}
+			return ""
+		}
+		callee := calleeFunc(pkg.Info, v)
+		if callee != nil && isSerializeCall(callee) {
+			for _, arg := range v.Args {
+				if why := taintOf(pkg, arg, taint, table); why != "" {
+					return "serialized by " + callee.Pkg().Name() + "." + callee.Name() + ": " + why
+				}
+			}
+			return ""
+		}
+		if cs := table.Lookup(callee); cs != nil {
+			if why, ok := cs.OrderedResults[0]; ok && len(cs.OrderedResults) >= 1 {
+				// Single-result use of a call: the first result's taint
+				// is what flows here (multi-value handled in taintAssign).
+				return chain(callee, why)
+			}
+		}
+	}
+	return ""
+}
+
+// assignTarget resolves an assignment LHS to the object that receives
+// the value when it is a plain identifier (the only shape tracked).
+func assignTarget(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func setTaint(taint map[types.Object]string, obj types.Object, why string) bool {
+	if _, ok := taint[obj]; ok {
+		return false
+	}
+	taint[obj] = why
+	return true
+}
+
+// setEffect records an effect in a lazily-allocated index map, keeping
+// the first (stable under re-scans) explanation.
+func setEffect(m *map[int]string, i int, why string) {
+	if *m == nil {
+		*m = make(map[int]string)
+	}
+	if _, ok := (*m)[i]; !ok {
+		(*m)[i] = why
+	}
+}
+
+// chain prefixes a callee's own effect explanation with its name,
+// building the "a → b → time.Now" trail shown in diagnostics.
+func chain(callee *types.Func, why string) string {
+	if callee == nil {
+		return why
+	}
+	name := callee.Name()
+	if pkg := callee.Pkg(); pkg != nil {
+		name = pkg.Name() + "." + name
+	}
+	if why == name || strings.HasPrefix(why, name+" → ") {
+		return why // the callee IS the leaf effect, or already heads the chain
+	}
+	if strings.HasPrefix(why, "the ") || strings.HasPrefix(why, "built ") || strings.HasPrefix(why, "filled ") {
+		return name + " (" + why + ")"
+	}
+	return name + " → " + why
+}
+
+// pkgPathOf returns the import path of fn's defining package ("" when
+// unknown).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// seedFieldSel reports whether lhs selects a raw-seed-carrying field: a
+// field whose name ends in "Seed" on a struct defined in an event-loop
+// simulation package other than internal/scenario (which owns seed
+// derivation and may carry experiment master seeds).
+func seedFieldSel(info *types.Info, lhs ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	field, ok := info.Selections[sel]
+	if !ok || field.Kind() != types.FieldVal {
+		return "", false
+	}
+	return seedField(field.Obj())
+}
+
+// seedFieldKey resolves a composite-literal key to a seed field of a
+// sim-package struct.
+func seedFieldKey(info *types.Info, lit *ast.CompositeLit, kv *ast.KeyValueExpr) (string, bool) {
+	id, ok := kv.Key.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id] // struct literal keys resolve through Uses or Defs depending on form
+	}
+	if obj == nil {
+		return "", false
+	}
+	return seedField(obj)
+}
+
+func seedField(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(obj.Name(), "Seed") {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if !inSimPackage(path) || isSeedOwner(path) {
+		return "", false
+	}
+	return obj.Pkg().Name() + "." + obj.Name(), true
+}
+
+// isSerializeCall reports whether fn flattens its arguments' element
+// order into a string (so a map-ordered slice passed in produces a
+// map-ordered string).
+func isSerializeCall(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "strings":
+		return fn.Name() == "Join"
+	case "fmt":
+		switch fn.Name() {
+		case "Sprint", "Sprintf", "Sprintln":
+			return true
+		}
+	}
+	return false
+}
+
+// orderSinkCall reports whether call delivers its arguments to a
+// determinism-sensitive sink: printed or written output, or simulator
+// event scheduling. The description names the sink for diagnostics.
+func orderSinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv == nil {
+		if names := printCalls[fn.Pkg().Path()]; names[fn.Name()] {
+			return fn.Pkg().Name() + "." + fn.Name() + " output", true
+		}
+		if fn.Pkg().Path() == ModulePath+"/internal/sim" {
+			return "sim." + fn.Name() + " event scheduling", true
+		}
+		return "", false
+	}
+	if fn.Pkg().Path() == ModulePath+"/internal/sim" {
+		return "sim." + fn.Name() + " event scheduling", true
+	}
+	if writerMethods[fn.Name()] {
+		return "a " + fn.Name() + " output write", true
+	}
+	return "", false
+}
+
+// sortsObj reports whether obj is passed to a recognized sorting
+// function anywhere in body.
+func sortsObj(info *types.Info, body *ast.BlockStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if names := sortCalls[fn.Pkg().Path()]; !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprUsesObj(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingMapRange reports whether pos sits inside a range-over-map
+// statement within body.
+func enclosingMapRange(pkg *Package, body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inside {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if ok && isMapType(pkg.Info, rs.X) && rs.Pos() <= pos && pos < rs.End() {
+			inside = true
+			return false
+		}
+		return true
+	})
+	return inside
+}
+
+// orderSensitiveBody reports whether ranging in nondeterministic order
+// with this body does order-sensitive work: emits output, schedules
+// events, appends to an escaping slice, or accumulates state from the
+// elements. Used both for ranging map-ordered slices (ordertaint) and
+// for parameter-sink propagation.
+func orderSensitiveBody(pkg *Package, rs *ast.RangeStmt, table SummaryTable) (string, bool) {
+	lo, hi := rs.Pos(), rs.End()
+	var desc string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if d, ok := orderSinkCall(pkg.Info, st); ok {
+				desc = d
+				return false
+			}
+			if cs := table.Lookup(calleeFunc(pkg.Info, st)); cs != nil {
+				for j := range cs.SinkParams {
+					if j < len(st.Args) {
+						desc = cs.SinkParams[j]
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if obj := rootObj(pkg.Info, st.Lhs[0]); declaredOutside(obj, lo, hi) {
+					desc = "accumulation into " + obj.Name()
+					return false
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range st.Rhs {
+					if i >= len(st.Lhs) || !isBuiltinAppend(pkg.Info, rhs) {
+						continue
+					}
+					if obj := rootObj(pkg.Info, st.Lhs[i]); declaredOutside(obj, lo, hi) {
+						desc = "append to " + obj.Name()
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+// ConstValue returns the constant value of e when the type checker
+// folded it to one, else nil. Used by seedtaint to spot literal seeds.
+func ConstValue(info *types.Info, e ast.Expr) constant.Value {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+// inspectSkippingFuncLits walks n, invoking f on every node but not
+// descending into function literals (their effects are their own).
+func inspectSkippingFuncLits(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,60 @@
+// Package fx is an ordertaint fixture (analyzed as
+// ec2wfsim/internal/report/fx): map-iteration order crossing a call
+// boundary before reaching a sink. Every finding here needs two
+// functions — single-function shapes are maporder's domain.
+package fx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keys returns the map's keys in iteration order: its result carries
+// map order out across the call boundary.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// emit delivers its argument's order to printed output: its parameter
+// is a sink for whatever order the caller hands it.
+func emit(xs []string) {
+	fmt.Println(xs)
+}
+
+func printKeys(m map[string]int) {
+	ks := keys(m)
+	fmt.Println(ks) // want `map-ordered value \(fx\.keys \(built while ranging a map at line \d+\)\) reaches fmt\.Println output`
+}
+
+func sumKeyLens(m map[string]int) int {
+	n := 0
+	for _, k := range keys(m) { // want `range over map-ordered result of fx\.keys \(built while ranging a map at line \d+\) reaches accumulation into n`
+		n += len(k)
+	}
+	return n
+}
+
+func handOff(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	emit(ks) // want `map-ordered value \(built while ranging a map at line \d+\) flows into fmt\.Println output of emit`
+}
+
+// The collect-then-sort idiom neutralizes the taint.
+func printSorted(m map[string]int) {
+	ks := keys(m)
+	sort.Strings(ks)
+	fmt.Println(ks)
+}
+
+func debugDump(m map[string]int) {
+	ks := keys(m)
+	//wfvet:ignore ordertaint debug helper, output never compared across runs
+	fmt.Println(ks)
+}

@@ -1,0 +1,45 @@
+// Package fx is the ordertaint clean fixture (analyzed as
+// ec2wfsim/internal/units/fx): the sanctioned shapes of the same
+// cross-call patterns.
+package fx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedKeys sorts before returning, so its result carries no map
+// order and callers may print or fold it freely.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emit(xs []string) {
+	fmt.Println(xs)
+}
+
+func printKeys(m map[string]int) {
+	emit(sortedKeys(m))
+}
+
+func sumKeyLens(m map[string]int) int {
+	n := 0
+	for _, k := range sortedKeys(m) {
+		n += len(k)
+	}
+	return n
+}
+
+// Order-insensitive folds over a map need no sort at all.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+// Package fx is a seedtaint fixture (analyzed as
+// ec2wfsim/internal/wms/fx — a simulation package that is not a seed
+// owner): seed material laundered through call boundaries and struct
+// fields. Direct rng.New literals are seedflow's domain, not ours.
+package fx
+
+import (
+	"time"
+
+	"ec2wfsim/internal/rng"
+)
+
+// Options carries a *Seed field of a simulation-package struct.
+type Options struct {
+	FailureSeed uint64
+}
+
+// newStream forwards its argument to rng.New: callers handing it a
+// constant are laundering a literal seed through a call boundary.
+func newStream(seed uint64) *rng.RNG {
+	return rng.New(seed)
+}
+
+func nowSeed() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+func fixedStream() *rng.RNG {
+	return newStream(1234) // want `literal seed 1234 flows through newStream into rng\.New`
+}
+
+func timeStream() *rng.RNG {
+	return newStream(nowSeed()) // want `wall-clock-derived seed \(time\.Now\) flows through newStream into rng\.New`
+}
+
+// Zero is the module-wide "use the documented default" convention.
+func defaultStream() *rng.RNG {
+	return newStream(0)
+}
+
+// Seeds handed down from the scenario layer arrive as parameters: the
+// sanctioned flow.
+func derivedStream(seed uint64) *rng.RNG {
+	return newStream(seed)
+}
+
+func fixedOptions() Options {
+	return Options{FailureSeed: 7} // want `constant seed 7 assigned to fx\.FailureSeed`
+}
+
+func overrideSeed(o *Options) {
+	o.FailureSeed = 99 // want `constant seed 99 assigned to fx\.FailureSeed`
+}
+
+// The zero-guarded default is the sanctioned fallback shape.
+func fillDefault(o *Options) {
+	if o.FailureSeed == 0 {
+		o.FailureSeed = 7
+	}
+}
+
+// An explicit zero in a literal means "use the default" and stays
+// silent.
+func zeroOptions() Options {
+	return Options{FailureSeed: 0}
+}
+
+func calibrationStream() *rng.RNG {
+	//wfvet:ignore seedtaint fixed calibration stream, never paired with a scenario run
+	return newStream(7)
+}

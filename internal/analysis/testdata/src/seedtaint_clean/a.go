@@ -1,0 +1,33 @@
+// Package fx is the seedtaint clean fixture (analyzed as
+// ec2wfsim/internal/storage/fx): seed material that always arrives from
+// the caller, zero defaults, and the zero-guard fallback idiom.
+package fx
+
+import "ec2wfsim/internal/rng"
+
+type Options struct {
+	ChurnSeed uint64
+}
+
+func newStream(seed uint64) *rng.RNG {
+	return rng.New(seed)
+}
+
+func derivedStream(seed uint64) *rng.RNG {
+	return newStream(seed)
+}
+
+func defaultStream() *rng.RNG {
+	return newStream(0)
+}
+
+func fill(o *Options, seed uint64) {
+	o.ChurnSeed = seed
+	if o.ChurnSeed == 0 {
+		o.ChurnSeed = 7
+	}
+}
+
+func options(seed uint64) Options {
+	return Options{ChurnSeed: seed}
+}

@@ -1,0 +1,32 @@
+// Package fx is a walltime fixture (analyzed as
+// ec2wfsim/internal/disk/fx, a simulation package): wall-clock and env
+// reads reached through module-internal call chains. The direct
+// time.Now / os.Getenv calls themselves are norawrand's domain — only
+// the calls that reach them across a boundary are flagged here.
+package fx
+
+import (
+	"os"
+	"time"
+)
+
+func stampImpl() int64 { return time.Now().UnixNano() }
+
+func hostStamp() int64 {
+	return stampImpl() // want `call to stampImpl reaches the wall clock \(time\.Now\)`
+}
+
+func recordEvent() int64 {
+	return hostStamp() // want `call to hostStamp reaches the wall clock \(fx\.stampImpl → time\.Now\)`
+}
+
+func configRoot() string { return os.Getenv("WF_ROOT") }
+
+func mountRoot() string {
+	return configRoot() // want `call to configRoot reads the environment \(os\.Getenv\)`
+}
+
+func bootBanner() int64 {
+	//wfvet:ignore walltime boot-time banner stamp, emitted before the event loop starts
+	return hostStamp()
+}

@@ -1,0 +1,32 @@
+// Package fx is the walltime handler fixture (analyzed as
+// ec2wfsim/internal/report/fx, outside the simulation packages):
+// function values scheduled onto the sim engine whose bodies reach the
+// wall clock or the environment. Handlers run under the deterministic
+// clock no matter where they were written.
+package fx
+
+import (
+	"os"
+	"time"
+
+	"ec2wfsim/internal/sim"
+)
+
+func hostNow() int64 { return time.Now().UnixNano() }
+
+func readRegion() string { return os.Getenv("WF_REGION") }
+
+func tick() { _ = time.Now() }
+
+func safe() {}
+
+func scheduleAll(e *sim.Engine) {
+	e.At(5, tick)       // want `handler tick scheduled onto the sim engine reaches the wall clock \(time\.Now\)`
+	e.After(1, func() { // want `handler scheduled onto the sim engine reaches the wall clock \(time\.Now\)`
+		_ = hostNow()
+	})
+	e.At(2, func() { // want `handler scheduled onto the sim engine reaches the environment \(os\.Getenv\)`
+		_ = readRegion()
+	})
+	e.At(3, safe)
+}

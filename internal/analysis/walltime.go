@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime is the interprocedural companion of norawrand: using the
+// wall-clock/env effect bits of function summaries, it flags reads that
+// reach simulation code through calls rather than appearing in it.
+// Two shapes are covered:
+//
+//  1. inside a simulation package, a call to a module-internal function
+//     that can (transitively) read time.Now / os.Getenv — the read sits
+//     in a helper package norawrand's import-level scope never sees;
+//  2. anywhere in the module, a function value passed into an
+//     internal/sim scheduling call (Engine.At/After/Go, NewReTimer, ...)
+//     whose body can reach the wall clock — the handler executes under
+//     the engine's deterministic clock no matter where it was written.
+//
+// Division of labor: direct time/os calls inside simulation packages are
+// norawrand's domain (extern callees are skipped here), so each finding
+// is reported exactly once.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flag wall-clock/env reads reachable from simulation code through call chains",
+	Why: "norawrand bounds what sim packages may call directly, but a wall-clock read " +
+		"two helpers away — or inside a handler closure scheduled onto the engine from " +
+		"non-sim code — still makes identical (scenario, seed) runs diverge. Call-graph " +
+		"reachability closes that gap.",
+	Run: runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	inSim := inSimPackage(pass.PkgPath)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if inSim {
+				checkSimCall(pass, call)
+			} else if isSimSchedulingCall(pass.Info, call) {
+				checkHandlerArgs(pass, call)
+			}
+			return true
+		})
+	}
+}
+
+// checkSimCall flags calls (in simulation packages) to module-internal
+// functions whose summary carries a wall-clock or env effect. Extern
+// callees are norawrand's domain.
+func checkSimCall(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	cs := pass.Summaries[FuncSym(callee)]
+	if cs == nil {
+		return
+	}
+	if cs.WallClock != "" {
+		pass.Reportf(call.Pos(),
+			"call to %s reaches the wall clock (%s) from a simulation package: use the sim clock (Proc.Now / Engine time)",
+			callee.Name(), cs.WallClock)
+	}
+	if cs.EnvRead != "" {
+		pass.Reportf(call.Pos(),
+			"call to %s reads the environment (%s) from a simulation package: thread configuration through scenario options",
+			callee.Name(), cs.EnvRead)
+	}
+}
+
+// isSimSchedulingCall reports whether call invokes internal/sim API
+// (package function or Engine/Proc method) — the points where function
+// values become event handlers under the deterministic clock.
+func isSimSchedulingCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == ModulePath+"/internal/sim"
+}
+
+// checkHandlerArgs flags function-valued arguments of a sim scheduling
+// call whose bodies can reach the wall clock or the environment. It
+// runs only outside simulation packages: inside them, module-internal
+// chains are reported at their own call sites by checkSimCall and
+// direct reads by norawrand, so scanning handler arguments there would
+// only duplicate findings.
+func checkHandlerArgs(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		t := pass.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Signature); !ok {
+			continue
+		}
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			if desc := funcLitWallEffect(pass, a); desc != "" {
+				pass.Reportf(arg.Pos(),
+					"handler scheduled onto the sim engine reaches %s: handlers run under the deterministic clock; use the sim clock / scenario options", desc)
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			fn, _ := pass.Info.Uses[identOf(a)].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			cs := pass.Summaries[FuncSym(fn)]
+			if cs == nil {
+				continue
+			}
+			if cs.WallClock != "" {
+				pass.Reportf(arg.Pos(),
+					"handler %s scheduled onto the sim engine reaches the wall clock (%s): handlers run under the deterministic clock; use the sim clock",
+					fn.Name(), cs.WallClock)
+			}
+			if cs.EnvRead != "" {
+				pass.Reportf(arg.Pos(),
+					"handler %s scheduled onto the sim engine reads the environment (%s): thread configuration through scenario options",
+					fn.Name(), cs.EnvRead)
+			}
+		}
+	}
+}
+
+// identOf returns the identifier naming e: the ident itself or a
+// selector's Sel.
+func identOf(e ast.Expr) *ast.Ident {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v
+	case *ast.SelectorExpr:
+		return v.Sel
+	}
+	return nil
+}
+
+// funcLitWallEffect scans a function literal's body for wall-clock/env
+// reads — direct extern calls or module-internal chains — and returns a
+// description of the first one found.
+func funcLitWallEffect(pass *Pass, lit *ast.FuncLit) string {
+	var desc string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs := pass.Summaries.Lookup(calleeFunc(pass.Info, call))
+		if cs == nil {
+			return true
+		}
+		switch {
+		case cs.WallClock != "":
+			desc = "the wall clock (" + cs.WallClock + ")"
+		case cs.EnvRead != "":
+			desc = "the environment (" + cs.EnvRead + ")"
+		}
+		return desc == ""
+	})
+	return desc
+}

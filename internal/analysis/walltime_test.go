@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ec2wfsim/internal/analysis"
+	"ec2wfsim/internal/analysis/analysistest"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysis.WallTime, "walltime", "ec2wfsim/internal/disk/fx")
+}
+
+func TestWallTimeHandlers(t *testing.T) {
+	// The handler shape fires from outside the simulation packages.
+	analysistest.Run(t, analysis.WallTime, "walltime_handler", "ec2wfsim/internal/report/fx")
+}
+
+func TestWallTimeClean(t *testing.T) {
+	analysistest.Run(t, analysis.WallTime, "walltime_clean", "ec2wfsim/internal/disk/fx")
+}
