@@ -34,6 +34,7 @@
 //	wfbench -seeds 5 -csv m.csv  # multi-seed replication with mean/stddev
 //	wfbench -progress            # per-cell progress on stderr
 //	wfbench -spec exp.json       # run a serialized experiment, JSON rows to stdout
+//	wfbench -spec exp.json -events-dir logs/  # also record one .wfevt per cell
 package main
 
 import (
@@ -44,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ec2wfsim/internal/harness"
@@ -68,16 +70,17 @@ func main() {
 	seeds := flag.Int("seeds", 1, "replicates per cell (±stddev error bars on figures, mean/stddev in -csv/-json exports)")
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	specPath := flag.String("spec", "", "run the serialized experiment in this JSON file and print one JSON row per cell")
+	eventsDir := flag.String("events-dir", "", "with -spec: record each cell's event log (.wfevt) into this directory")
 	flag.Parse()
 
 	harness.SetParallel(*parallel)
-	if err := run(&spec, *specPath, *fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
+	if err := run(&spec, *specPath, *eventsDir, *fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec *scenario.Spec, specPath string, fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
+func run(spec *scenario.Spec, specPath, eventsDir string, fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
 	opt := harness.SweepOptions{Seeds: seeds}
 	if progress {
 		opt.Progress = printProgress
@@ -85,7 +88,7 @@ func run(spec *scenario.Spec, specPath string, fig int, table1, diskTable bool, 
 	if specPath != "" {
 		// The spec file carries the whole experiment; every other mode
 		// or knob flag would fight it.
-		allowed := map[string]bool{"spec": true, "parallel": true, "progress": true}
+		allowed := map[string]bool{"spec": true, "parallel": true, "progress": true, "events-dir": true}
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
@@ -95,7 +98,10 @@ func run(spec *scenario.Spec, specPath string, fig int, table1, diskTable bool, 
 		if len(conflicts) > 0 {
 			return fmt.Errorf("-spec runs the whole experiment from the file; drop %s", strings.Join(conflicts, ", "))
 		}
-		return runSpec(specPath, opt)
+		return runSpec(specPath, eventsDir, opt)
+	}
+	if eventsDir != "" {
+		return fmt.Errorf("-events-dir records the cells of a serialized experiment; add -spec")
 	}
 	failureStudy := spec.FailureRate > 0 || ablation == "failures"
 	outageStudy := spec.OutageRate > 0 || ablation == "outages"
@@ -229,7 +235,9 @@ func run(spec *scenario.Spec, specPath string, fig int, table1, diskTable bool, 
 // sweep runs; specs with seeds > 1 print their aggregated
 // (mean/stddev) rows once every replicate has finished. A single-cell
 // spec reproduces the corresponding `wfsim -json` output byte for byte.
-func runSpec(path string, opt harness.SweepOptions) error {
+// With eventsDir set, each cell's structured event log is additionally
+// recorded into that directory as a replayable .wfevt file.
+func runSpec(path, eventsDir string, opt harness.SweepOptions) error {
 	e, err := scenario.ReadFile(path)
 	if err != nil {
 		return err
@@ -244,6 +252,12 @@ func runSpec(path string, opt harness.SweepOptions) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	if eventsDir != "" {
+		if e.Seeds > 1 {
+			return fmt.Errorf("-events-dir records single executions; drop the spec's seeds")
+		}
+		return runSpecRecorded(cfgs, eventsDir, enc)
+	}
 	if e.Seeds > 1 {
 		opt.Seeds = e.Seeds
 		reps, err := harness.SweepSeeds(cfgs, opt)
@@ -260,6 +274,32 @@ func runSpec(path string, opt harness.SweepOptions) error {
 	return streamRows(cfgs, opt, func(r *harness.RunResult) error {
 		return enc.Encode(r.JSONRow())
 	})
+}
+
+// runSpecRecorded runs the experiment's cells through the recorded
+// sweep, writes one .wfevt per cell into dir, and prints the usual JSON
+// rows. File names are cell-ordinal plus the cell's identity, so a
+// grid's logs sort in grid order and pair naturally for wfreplay diff.
+func runSpecRecorded(cfgs []harness.RunConfig, dir string, enc *json.Encoder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	recorded, err := harness.SweepRecorded(cfgs, 0)
+	if err != nil {
+		return err
+	}
+	for i, cell := range recorded {
+		cfg := cfgs[i]
+		name := fmt.Sprintf("cell-%03d_%s_%s_w%d.wfevt", i, cfg.App, cfg.Storage, cfg.Workers)
+		if err := os.WriteFile(filepath.Join(dir, name), cell.Log, 0o644); err != nil {
+			return err
+		}
+		if err := enc.Encode(cell.Result.JSONRow()); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wfbench: wrote %d event logs to %s\n", len(recorded), dir)
+	return nil
 }
 
 // printProgress reports one completed cell on stderr.

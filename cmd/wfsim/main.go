@@ -21,6 +21,7 @@
 //	wfsim -app montage -storage pvfs -nodes 4 -flow-version 2
 //	wfsim -app montage -storage nfs -nodes 2 -emit-spec run.json
 //	wfsim -spec run.json -json
+//	wfsim -app montage -storage nfs -nodes 2 -events run.wfevt
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 
 	gantt := flag.Bool("gantt", false, "print a per-node Gantt chart")
 	csvPath := flag.String("csv", "", "write the execution trace as CSV to this path")
+	eventsPath := flag.String("events", "", "record the run's structured event log (.wfevt) to this path; replay it with wfreplay")
 	seeds := flag.Int("seeds", 1, "replicate the run across this many derived seeds and report mean/stddev")
 	parallel := flag.Int("parallel", 0, "max concurrent replicates; 0 = all cores")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
@@ -52,13 +54,13 @@ func main() {
 	emitSpec := flag.String("emit-spec", "", "write the configured run as a JSON experiment spec to this path (\"-\" = stdout) and exit")
 	flag.Parse()
 
-	if err := run(&spec, *specPath, *emitSpec, *seeds, *parallel, *gantt, *csvPath, *jsonOut); err != nil {
+	if err := run(&spec, *specPath, *emitSpec, *seeds, *parallel, *gantt, *csvPath, *eventsPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, gantt bool, csvPath string, jsonOut bool) error {
+func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, gantt bool, csvPath, eventsPath string, jsonOut bool) error {
 	if specPath != "" {
 		// The file is the whole scenario; scenario flags (and -seeds,
 		// which the spec carries) would silently fight it.
@@ -87,12 +89,26 @@ func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, ga
 	}
 	cfg := harness.SpecConfig(*spec)
 	if seeds > 1 {
-		if gantt || csvPath != "" {
-			return fmt.Errorf("-gantt and -csv trace a single execution; drop them or run without -seeds")
+		if gantt || csvPath != "" || eventsPath != "" {
+			return fmt.Errorf("-gantt, -csv and -events trace a single execution; drop them or run without -seeds")
 		}
 		return runReplicated(cfg, seeds, parallel, jsonOut)
 	}
-	res, err := harness.Run(cfg)
+	var res *harness.RunResult
+	var err error
+	if eventsPath != "" {
+		var f *os.File
+		f, err = os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		res, err = harness.RunRecorded(cfg, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		res, err = harness.Run(cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -123,6 +139,9 @@ func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, ga
 			return err
 		}
 		fmt.Printf("  trace CSV         %s (%d rows)\n", csvPath, len(res.Spans))
+	}
+	if eventsPath != "" {
+		fmt.Printf("  event log         %s (check with: wfreplay verify %s)\n", eventsPath, eventsPath)
 	}
 	return nil
 }

@@ -25,6 +25,8 @@ var simPackages = map[string]bool{
 	"internal/staging":  true,
 	"internal/workflow": true,
 	"internal/scenario": true,
+	"internal/eventlog": true,
+	"cmd/wfreplay":      true,
 }
 
 // seedOwners are the packages allowed to construct generators from raw

@@ -1,0 +1,300 @@
+package eventlog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		CellKey:     "app=montage|storage=nfs-sync|workers=2",
+		Spec:        RawJSON(`{"app":"montage","storage":"nfs-sync","workers":2}`),
+		Seed:        0x5EED,
+		FlowVersion: 2,
+	}
+}
+
+func testEvents() []Event {
+	return []Event{
+		{T: 0, Kind: NodeUp, Node: "w0"},
+		{T: 0, Kind: NodeUp, Node: "w1"},
+		{T: 0.01, Kind: TaskStart, Task: "mProject-0", Node: "w0", Attempt: 1},
+		{T: 0.41, Kind: TransferStart, Task: "mProject-0", Node: "w0", File: "in-0.fits", Phase: "input", Size: 2e6},
+		{T: 0.55, Kind: CacheMiss, Node: "w0", File: "in-0.fits", Size: 2e6},
+		{T: 0.97, Kind: TransferDrain, Task: "mProject-0", Node: "w0", File: "in-0.fits", Phase: "input", Size: 2e6, Dur: 0.56},
+		{T: 0.97, Kind: TaskExec, Task: "mProject-0", Node: "w0", Attempt: 1},
+		{T: 4.2, Kind: TaskFail, Task: "mProject-0", Node: "w0", Attempt: 1, Reason: "injected"},
+		{T: 4.2, Kind: TaskRetry, Task: "mProject-0"},
+		{T: 9.1, Kind: OutageBegin, Node: "w1", Dur: 120},
+		{T: 9.1, Kind: NodeDown, Node: "w1"},
+		{T: 9.1, Kind: OutageKill, Node: "w1", Task: "mProject-1"},
+		{T: 60.2, Kind: CheckpointWrite, Task: "mProject-0", Node: "w0", File: "__ckpt__/mProject-0", Size: 64e6},
+		{T: 129.1, Kind: NodeUp, Node: "w1"},
+		{T: 129.1, Kind: OutageEnd, Node: "w1"},
+		{T: 130, Kind: CheckpointRestore, Task: "mProject-1", Node: "w1", File: "__ckpt__/mProject-1", Size: 64e6},
+		{T: 200.5, Kind: TaskFinish, Task: "mProject-0", Node: "w0", Attempt: 2},
+	}
+}
+
+// encode writes a full log through the streaming Writer.
+func encode(t *testing.T, h Header, events []Event, simEvents int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Close(simEvents); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := encode(t, testHeader(), testEvents(), 4242)
+	h, events, tr, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if h.Format != Magic || h.Version != SchemaVersion {
+		t.Errorf("header format/version = %q/%d", h.Format, h.Version)
+	}
+	if h.CellKey != testHeader().CellKey || h.Seed != 0x5EED || h.FlowVersion != 2 {
+		t.Errorf("header fields did not round-trip: %+v", h)
+	}
+	want := testEvents()
+	if len(events) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(events), len(want))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq %d", i, e.Seq)
+		}
+		e.Seq = 0
+		if e != want[i] {
+			t.Errorf("event %d: got %+v want %+v", i, e, want[i])
+		}
+	}
+	if tr.Events != uint64(len(want)) || tr.SimEvents != 4242 {
+		t.Errorf("trailer = %+v", tr)
+	}
+
+	// Re-encoding a decoded log reproduces the bytes exactly.
+	var buf bytes.Buffer
+	if err := Encode(&buf, h, events, tr); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Errorf("re-encoding is not byte-identical (got %d bytes, want %d)", buf.Len(), len(data))
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	data := encode(t, testHeader(), nil, 0)
+	_, events, tr, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(events) != 0 || tr.Events != 0 {
+		t.Errorf("empty log decoded to %d events, trailer %+v", len(events), tr)
+	}
+}
+
+// TestTruncationAlwaysDetected pins the headline corruption guarantee:
+// every strict prefix of a valid log fails to decode with a typed
+// *CorruptError — record-boundary truncation included, thanks to the
+// trailer.
+func TestTruncationAlwaysDetected(t *testing.T) {
+	data := encode(t, testHeader(), testEvents(), 99)
+	for n := 0; n < len(data); n++ {
+		_, _, _, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", n, len(data))
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("prefix of %d bytes: error %v is not a *CorruptError", n, err)
+		}
+	}
+}
+
+func TestCorruptErrorNamesOffset(t *testing.T) {
+	data := encode(t, testHeader(), testEvents(), 0)
+	// Find the second record's offset (first event) and break its type
+	// byte.
+	idx := bytes.IndexByte(data, '\n') + 1
+	bad := append([]byte(nil), data...)
+	bad[idx] = 'x'
+	_, _, _, err := Decode(bad)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *CorruptError", err)
+	}
+	if ce.Offset != int64(idx) {
+		t.Errorf("offset = %d, want %d", ce.Offset, idx)
+	}
+	if !strings.Contains(ce.Error(), "corrupt log at byte") {
+		t.Errorf("message %q does not name the offset", ce.Error())
+	}
+}
+
+func TestCorruptionVariants(t *testing.T) {
+	valid := encode(t, testHeader(), testEvents(), 7)
+	cases := map[string]func([]byte) []byte{
+		"seq gap (drop an event record)": func(d []byte) []byte {
+			// Remove the second event record entirely.
+			first := bytes.IndexByte(d, '\n') + 1 // end of header
+			second := first + bytes.IndexByte(d[first:], '\n') + 1
+			third := second + bytes.IndexByte(d[second:], '\n') + 1
+			return append(append([]byte(nil), d[:second]...), d[third:]...)
+		},
+		"flipped kind string": func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"task-start"`), []byte(`"task-stxrt"`), 1)
+		},
+		"flipped field name": func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"node":"w0"`), []byte(`"nodx":"w0"`), 1)
+		},
+		"length prefix off by one": func(d []byte) []byte {
+			i := bytes.IndexByte(d, '\n') + 1 // first event record's type byte
+			out := append([]byte(nil), d...)
+			out[i+1]++ // bump the leading length digit
+			return out
+		},
+		"trailing garbage": func(d []byte) []byte {
+			return append(append([]byte(nil), d...), "junk"...)
+		},
+		"no trailer": func(d []byte) []byte {
+			i := bytes.LastIndexByte(d[:len(d)-1], '\n')
+			return d[:i+1]
+		},
+		"wrong magic": func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"format":"wfevt"`), []byte(`"format":"wfevx"`), 1)
+		},
+		"future schema version": func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"version":1`), []byte(`"version":9`), 1)
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			bad := mutate(append([]byte(nil), valid...))
+			if bytes.Equal(bad, valid) {
+				t.Fatal("mutation did not change the log")
+			}
+			_, _, _, err := Decode(bad)
+			if err == nil {
+				t.Fatal("corrupted log decoded cleanly")
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *CorruptError", err)
+			}
+		})
+	}
+}
+
+func TestWriterRejectsInvalidHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{}); err == nil {
+		t.Error("NewWriter accepted a header without a spec")
+	}
+	if _, err := NewWriter(&buf, Header{Spec: RawJSON(`{"a":`)}); err == nil {
+		t.Error("NewWriter accepted invalid spec JSON")
+	}
+	if _, err := NewWriter(&buf, Header{Spec: RawJSON(`{}`), Workflow: RawJSON(`[`)}); err == nil {
+		t.Error("NewWriter accepted invalid workflow JSON")
+	}
+}
+
+func TestWriterRejectsUncataloguedKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Event{Kind: "no-such-kind"})
+	if w.Err() == nil {
+		t.Error("Record accepted an uncatalogued kind")
+	}
+	if err := w.Close(0); err == nil {
+		t.Error("Close did not surface the latched error")
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrShortWrite
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterErrorsAreSticky(t *testing.T) {
+	w, err := NewWriter(&errWriter{n: 40}, testHeader())
+	if err != nil {
+		// The header alone may already overflow the sink; that is a
+		// valid error surface too.
+		return
+	}
+	for _, e := range testEvents() {
+		w.Record(e)
+	}
+	if err := w.Close(0); err == nil {
+		t.Error("Close reported no error after the sink failed")
+	}
+}
+
+func TestRecordAfterCloseIsDropped(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	before := buf.Len()
+	w.Record(Event{Kind: TaskStart})
+	if err := w.Close(0); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if buf.Len() != before {
+		t.Error("Record after Close wrote bytes")
+	}
+}
+
+func TestKindCatalog(t *testing.T) {
+	ks := Kinds()
+	if len(ks) == 0 {
+		t.Fatal("empty catalog")
+	}
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		if !k.Valid() {
+			t.Errorf("catalogued kind %q is not Valid", k)
+		}
+		if seen[k] {
+			t.Errorf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+	if Kind("bogus").Valid() {
+		t.Error("uncatalogued kind reported Valid")
+	}
+	// The returned catalog is a copy: mutating it must not poison the
+	// package's validity checks.
+	ks[0] = "mutated"
+	if !Kinds()[0].Valid() {
+		t.Error("Kinds exposed internal state")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"ec2wfsim/internal/apps"
 	"ec2wfsim/internal/cluster"
 	"ec2wfsim/internal/cost"
+	"ec2wfsim/internal/eventlog"
 	"ec2wfsim/internal/flow"
 	"ec2wfsim/internal/rng"
 	"ec2wfsim/internal/scenario"
@@ -192,26 +193,35 @@ func (r *RunResult) Completed() int {
 // system or worker type — a typo in a spec file, say — fails with a
 // typed *scenario.UnknownNameError listing the valid names.
 func Run(cfg RunConfig) (*RunResult, error) {
+	r, _, err := runWith(cfg, nil)
+	return r, err
+}
+
+// runWith is Run with an optional event recorder threaded through the
+// provisioning step, the storage env and the workflow engine. It also
+// returns the engine's total scheduled-event count, which recorded runs
+// carry in the log trailer as a replay cross-check.
+func runWith(cfg RunConfig, rec eventlog.Recorder) (*RunResult, int64, error) {
 	w := cfg.Workflow
 	if w == nil {
 		if err := scenario.ValidateApp(cfg.App); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		var err error
 		w, err = apps.PaperScaleSeeded(cfg.App, cfg.AppSeed)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if err := scenario.ValidateStorage(cfg.Storage); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := scenario.ValidateWorkerType(cfg.WorkerType); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sys, err := storage.ByName(cfg.Storage)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -219,10 +229,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	workerType, err := cluster.TypeByName(cfg.WorkerType)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if cfg.FlowVersion < 0 || cfg.FlowVersion > 2 {
-		return nil, fmt.Errorf("harness: flow version must be 0 (default), 1 or 2 (got %d)", cfg.FlowVersion)
+		return nil, 0, fmt.Errorf("harness: flow version must be 0 (default), 1 or 2 (got %d)", cfg.FlowVersion)
 	}
 	e := sim.NewEngine()
 	net := flow.NewNetVersion(e, cfg.FlowVersion)
@@ -234,11 +244,21 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		InitializeBytes: cfg.InitializeBytes,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	env := &storage.Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(seed + 1)}
+	if rec != nil {
+		// One node-up per provisioned node opens the stream, so replay
+		// consumers know the cluster shape without parsing the spec.
+		for _, n := range c.Workers {
+			rec.Record(eventlog.Event{T: e.Now(), Kind: eventlog.NodeUp, Node: n.Name})
+		}
+		for _, n := range c.Extra {
+			rec.Record(eventlog.Event{T: e.Now(), Kind: eventlog.NodeUp, Node: n.Name})
+		}
+	}
+	env := &storage.Env{E: e, Net: net, Workers: c.Workers, Extra: c.Extra, R: rng.New(seed + 1), Rec: rec}
 	if err := sys.Init(env); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	res, err := wms.Run(e, wms.Options{
 		Cluster:            c,
@@ -251,9 +271,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		OutageDuration:     cfg.OutageDuration,
 		OutageSeed:         cfg.OutageSeed,
 		CheckpointInterval: cfg.CheckpointInterval,
+		Recorder:           rec,
 	}, w)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	st := sys.Stats()
 	return &RunResult{
@@ -274,7 +295,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		CostHour:        cost.Compute(c, res.Makespan, st, cost.PerHour),
 		CostSecond:      cost.Compute(c, res.Makespan, st, cost.PerSecond),
 		Cluster:         c,
-	}, nil
+	}, e.Scheduled(), nil
 }
 
 // NodeCounts is the cluster-size sweep from the paper: "different numbers

@@ -41,6 +41,11 @@ type Window struct {
 	End   float64
 }
 
+// Duration returns the window's length in seconds. Event-log
+// outage-begin records carry it so reports can show scheduled outage
+// lengths without pairing begin/end events first.
+func (w Window) Duration() float64 { return w.End - w.Start }
+
 // Schedule derives per-node outage streams from one Config.
 type Schedule struct {
 	cfg Config

@@ -16,6 +16,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -76,6 +77,15 @@ type Spec struct {
 	// (identical totals, timestamps within float tolerance; see
 	// internal/flow).
 	FlowVersion int `json:"flow_version,omitempty"`
+}
+
+// CanonicalJSON renders the spec as compact JSON with the struct's
+// fixed field order and zero-valued fields omitted. The encoding is a
+// pure function of the spec's field values, so artifacts embedding a
+// spec — event-log headers, memo keys derived from them — are
+// byte-stable across runs and processes.
+func (s *Spec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s)
 }
 
 // UnknownNameError reports a name that does not resolve in one of the

@@ -110,6 +110,12 @@ func NewEngine() *Engine {
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Scheduled returns the total number of events ever scheduled on the
+// engine — a deterministic fingerprint of the run's internal activity.
+// Run-artifact trailers record it so replay verification cross-checks
+// the engine's behaviour beyond the emitted event stream.
+func (e *Engine) Scheduled() int64 { return e.seq }
+
 // schedule enqueues fn at absolute time t, reusing a recycled event record
 // when one is available. It is the allocation-free core of At/After and the
 // process wakeup path.

@@ -183,14 +183,18 @@ func (n *NFS) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	p.Sleep(nfsRPCLatency)
 	if n.clientCaches[node].Lookup(f) {
 		n.stats.CacheHits++
+		n.env.recordCache(p, true, "client", node, f)
 		return
 	}
 	n.stats.CacheMisses++
+	n.env.recordCache(p, false, "client", node, f)
 	n.stats.NetworkBytes += f.Size
-	if n.serverLookup(f) {
+	if hit := n.serverLookup(f); hit {
 		// Served from server memory: network path only.
+		n.env.recordCache(p, true, "server", node, f)
 		n.env.Net.Transfer(p, f.Size, n.srvOut, node.NICIn)
 	} else {
+		n.env.recordCache(p, false, "server", node, f)
 		n.server.Disk.Read(p, f.Size, n.srvOut, node.NICIn)
 		n.serverInsert(f)
 	}

@@ -132,8 +132,10 @@ func (s *S3) Read(p *sim.Proc, node *cluster.Node, f *workflow.File) {
 	s.stats.Reads++
 	if s.CacheEnabled && s.nodeCached[node][f] {
 		s.stats.CacheHits++
+		s.env.recordCache(p, true, "client", node, f)
 	} else {
 		s.stats.CacheMisses++
+		s.env.recordCache(p, false, "client", node, f)
 		s.get(p, node, f)
 		if s.CacheEnabled {
 			s.nodeCached[node][f] = true

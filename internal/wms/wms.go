@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ec2wfsim/internal/cluster"
+	"ec2wfsim/internal/eventlog"
 	"ec2wfsim/internal/outage"
 	"ec2wfsim/internal/rng"
 	"ec2wfsim/internal/sim"
@@ -98,6 +99,13 @@ type Options struct {
 	// the same storage bandwidth the workflow's own I/O uses. Zero (the
 	// paper's setting) disables checkpointing.
 	CheckpointInterval float64
+
+	// Recorder, when non-nil, receives the run's structured event stream
+	// (task attempts, transfers, outages, checkpoints, node state) as it
+	// executes. Nil — the default — disables recording: every emission
+	// site is behind one pointer test, so unrecorded runs stay on the
+	// zero-cost path and bit-identical to pre-eventlog builds.
+	Recorder eventlog.Recorder
 }
 
 // Span records one task attempt for traces and utilization analysis.
@@ -217,6 +225,10 @@ func Run(e *sim.Engine, opts Options, w *workflow.Workflow) (*Result, error) {
 		done:   sim.NewWaitGroup(e),
 		result: &Result{},
 	}
+	if opts.Recorder != nil {
+		run.rec = opts.Recorder
+		run.tries = make(map[*workflow.Task]int, len(w.Tasks))
+	}
 	if opts.FailureRate > 0 {
 		if opts.FailureRate >= 1 {
 			return nil, fmt.Errorf("wms: failure rate %g leaves no chance of progress", opts.FailureRate)
@@ -295,6 +307,11 @@ type execution struct {
 	// task, overwritten in place by successive checkpoints.
 	progress  map[*workflow.Task]float64
 	ckptFiles map[*workflow.Task]*workflow.File
+
+	// Event recording (nil rec disables it — the zero-cost default).
+	// tries numbers each task's attempts from 1 for the event stream.
+	rec   eventlog.Recorder
+	tries map[*workflow.Task]int
 }
 
 // attempt is the kill handle for one in-flight task attempt: an outage
@@ -304,6 +321,7 @@ type execution struct {
 // flag cooperatively at their next phase boundary.
 type attempt struct {
 	p      *sim.Proc
+	task   *workflow.Task
 	killed bool
 	timer  *sim.Timer // non-nil while inside sleepAttempt
 }
@@ -376,9 +394,13 @@ func (x *execution) execute() {
 					if x.stopped {
 						return
 					}
-					x.takeDown(node)
+					x.takeDown(node, w.Duration())
 					p.Sleep(w.End - p.Now())
 					node.SetUp()
+					if x.rec != nil {
+						x.rec.Record(eventlog.Event{T: p.Now(), Kind: eventlog.NodeUp, Node: node.Name})
+						x.rec.Record(eventlog.Event{T: p.Now(), Kind: eventlog.OutageEnd, Node: node.Name})
+					}
 					if x.stopped {
 						return
 					}
@@ -402,11 +424,23 @@ func (x *execution) execute() {
 
 // takeDown starts an outage on node: kill every in-flight attempt and
 // mark the node offline so its slots idle and its data is unreadable.
-func (x *execution) takeDown(node *cluster.Node) {
+// dur is the scheduled outage length, carried on the outage-begin event.
+func (x *execution) takeDown(node *cluster.Node, dur float64) {
 	node.SetDown()
 	x.result.Outages++
+	if x.rec != nil {
+		now := x.e.Now()
+		x.rec.Record(eventlog.Event{T: now, Kind: eventlog.OutageBegin, Node: node.Name, Dur: dur})
+		x.rec.Record(eventlog.Event{T: now, Kind: eventlog.NodeDown, Node: node.Name})
+	}
 	for _, att := range x.running[node] {
 		att.killed = true
+		if x.rec != nil {
+			x.rec.Record(eventlog.Event{
+				T: x.e.Now(), Kind: eventlog.OutageKill, Task: att.task.ID, Node: node.Name,
+				Attempt: x.tries[att.task],
+			})
+		}
 		if att.timer != nil {
 			// Interrupt the compute sleep right now; attempts blocked in
 			// transfers or queues notice the flag at their next boundary.
@@ -419,11 +453,11 @@ func (x *execution) takeDown(node *cluster.Node) {
 
 // register adds a kill handle for an attempt starting on node (nil when
 // outages are disabled — the zero-overhead default path).
-func (x *execution) register(p *sim.Proc, node *cluster.Node) *attempt {
+func (x *execution) register(p *sim.Proc, node *cluster.Node, t *workflow.Task) *attempt {
 	if x.outages == nil {
 		return nil
 	}
-	att := &attempt{p: p}
+	att := &attempt{p: p, task: t}
 	x.running[node] = append(x.running[node], att)
 	return att
 }
@@ -481,12 +515,47 @@ func (x *execution) ckptFile(t *workflow.Task) *workflow.File {
 	return f
 }
 
+// stage charges one storage access (an input read, checkpoint transfer,
+// or output write) on behalf of a task, bracketing it with
+// transfer-start/transfer-drain events when recording is on. With no
+// recorder it is exactly the direct Storage call.
+func (x *execution) stage(p *sim.Proc, node *cluster.Node, t *workflow.Task, f *workflow.File, phase string, write bool) {
+	if x.rec != nil {
+		x.rec.Record(eventlog.Event{
+			T: p.Now(), Kind: eventlog.TransferStart,
+			Task: t.ID, Node: node.Name, File: f.Name, Phase: phase, Size: f.Size,
+		})
+	}
+	start := p.Now()
+	if write {
+		x.opts.Storage.Write(p, node, f)
+	} else {
+		x.opts.Storage.Read(p, node, f)
+	}
+	if x.rec != nil {
+		x.rec.Record(eventlog.Event{
+			T: p.Now(), Kind: eventlog.TransferDrain,
+			Task: t.ID, Node: node.Name, File: f.Name, Phase: phase, Size: f.Size,
+			Dur: p.Now() - start,
+		})
+	}
+}
+
 // runJob executes one task on a slot: memory admission, input staging,
 // computation, output publication, then dependency release.
 func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 	t := j.task
 	span := Span{Task: t, Node: node.Name, Start: p.Now()}
-	att := x.register(p, node)
+	att := x.register(p, node, t)
+
+	attemptNo := 0
+	if x.rec != nil {
+		x.tries[t]++
+		attemptNo = x.tries[t]
+		x.rec.Record(eventlog.Event{
+			T: span.Start, Kind: eventlog.TaskStart, Task: t.ID, Node: node.Name, Attempt: attemptNo,
+		})
+	}
 
 	memMB := 0
 	if !x.opts.SkipMemoryLimit && t.PeakMemory > 0 {
@@ -520,6 +589,19 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		x.result.LostWorkSeconds += (span.WriteEnd - span.Start) - durable
 		x.result.Retries++
 		x.unregister(node, att)
+		if x.rec != nil {
+			reason := "injected"
+			if att != nil && att.killed {
+				reason = "outage"
+			}
+			x.rec.Record(eventlog.Event{
+				T: p.Now(), Kind: eventlog.TaskFail, Task: t.ID, Node: node.Name,
+				Attempt: attemptNo, Reason: reason,
+			})
+			x.rec.Record(eventlog.Event{
+				T: p.Now(), Kind: eventlog.TaskRetry, Task: t.ID, Attempt: attemptNo,
+			})
+		}
 		x.ready.Put(t)
 	}
 	killed := func() bool { return att != nil && att.killed }
@@ -538,7 +620,7 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		return
 	}
 	for _, f := range t.Inputs {
-		x.opts.Storage.Read(p, node, f)
+		x.stage(p, node, t, f, "input", false)
 		if killed() {
 			abort(0)
 			return
@@ -550,8 +632,15 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		if frac := x.progress[t]; frac > 0 {
 			// Restore the last checkpoint before resuming: real staging
 			// traffic through the storage backend, like any input read.
-			x.opts.Storage.Read(p, node, x.ckptFile(t))
+			ck := x.ckptFile(t)
+			x.stage(p, node, t, ck, "restore", false)
 			resume = frac * full
+			if x.rec != nil {
+				x.rec.Record(eventlog.Event{
+					T: p.Now(), Kind: eventlog.CheckpointRestore,
+					Task: t.ID, Node: node.Name, File: ck.Name, Size: ck.Size, Attempt: attemptNo,
+				})
+			}
 			if killed() {
 				abort(0)
 				return
@@ -559,6 +648,11 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		}
 	}
 	span.Exec = p.Now()
+	if x.rec != nil {
+		x.rec.Record(eventlog.Event{
+			T: span.Exec, Kind: eventlog.TaskExec, Task: t.ID, Node: node.Name, Attempt: attemptNo,
+		})
+	}
 
 	cpu := full - resume
 	failAt := -1.0
@@ -603,11 +697,17 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 		// resume from them (otherwise lost work would double-count paid
 		// checkpoint overhead).
 		ck := x.ckptFile(t)
-		x.opts.Storage.Write(p, node, ck)
+		x.stage(p, node, t, ck, "ckpt", true)
 		x.result.Checkpoints++
 		x.result.CheckpointBytes += ck.Size
 		x.progress[t] = (resume + ran) / full
 		durable = ran
+		if x.rec != nil {
+			x.rec.Record(eventlog.Event{
+				T: p.Now(), Kind: eventlog.CheckpointWrite,
+				Task: t.ID, Node: node.Name, File: ck.Name, Size: ck.Size, Attempt: attemptNo,
+			})
+		}
 		if killed() {
 			abort(durable)
 			return
@@ -615,13 +715,19 @@ func (x *execution) runJob(p *sim.Proc, node *cluster.Node, j *job) {
 	}
 
 	for _, f := range t.Outputs {
-		x.opts.Storage.Write(p, node, f)
+		x.stage(p, node, t, f, "output", true)
 		if killed() {
 			abort(durable)
 			return
 		}
 	}
 	span.WriteEnd = p.Now()
+	if x.rec != nil {
+		x.rec.Record(eventlog.Event{
+			T: span.WriteEnd, Kind: eventlog.TaskFinish, Task: t.ID, Node: node.Name,
+			Attempt: attemptNo, Dur: span.WriteEnd - span.Start,
+		})
+	}
 
 	if memMB > 0 {
 		node.Memory.Release(memMB)
