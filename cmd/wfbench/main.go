@@ -35,6 +35,7 @@
 //	wfbench -progress            # per-cell progress on stderr
 //	wfbench -spec exp.json       # run a serialized experiment, JSON rows to stdout
 //	wfbench -spec exp.json -events-dir logs/  # also record one .wfevt per cell
+//	wfbench -cache-dir ~/.wfcache -json grid.jsonl  # persistent cross-run result cache
 package main
 
 import (
@@ -49,6 +50,7 @@ import (
 	"strings"
 
 	"ec2wfsim/internal/harness"
+	"ec2wfsim/internal/resultcache"
 	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/sweep"
 )
@@ -68,27 +70,39 @@ func main() {
 	jsonPath := flag.String("json", "", "write the full experiment grid as JSON lines to this path (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 0, "max concurrent experiment cells; 0 = all cores")
 	seeds := flag.Int("seeds", 1, "replicates per cell (±stddev error bars on figures, mean/stddev in -csv/-json exports)")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory shared across runs and users")
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	specPath := flag.String("spec", "", "run the serialized experiment in this JSON file and print one JSON row per cell")
 	eventsDir := flag.String("events-dir", "", "with -spec: record each cell's event log (.wfevt) into this directory")
 	flag.Parse()
 
 	harness.SetParallel(*parallel)
-	if err := run(&spec, *specPath, *eventsDir, *fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
+	if err := run(&spec, *specPath, *eventsDir, *cacheDir, *fig, *table1, *diskTable, *ablation, *csvPath, *jsonPath, *seeds, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec *scenario.Spec, specPath, eventsDir string, fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
+func run(spec *scenario.Spec, specPath, eventsDir, cacheDir string, fig int, table1, diskTable bool, ablation, csvPath, jsonPath string, seeds int, progress bool) error {
 	opt := harness.SweepOptions{Seeds: seeds}
 	if progress {
 		opt.Progress = printProgress
 	}
+	if cacheDir != "" {
+		store, err := resultcache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = store
+		defer func() {
+			hits, misses := store.Stats()
+			fmt.Fprintf(os.Stderr, "wfbench: result cache %s: %d hit(s), %d miss(es)\n", cacheDir, hits, misses)
+		}()
+	}
 	if specPath != "" {
 		// The spec file carries the whole experiment; every other mode
 		// or knob flag would fight it.
-		allowed := map[string]bool{"spec": true, "parallel": true, "progress": true, "events-dir": true}
+		allowed := map[string]bool{"spec": true, "parallel": true, "progress": true, "events-dir": true, "cache-dir": true}
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
@@ -260,16 +274,9 @@ func runSpec(path, eventsDir string, opt harness.SweepOptions) error {
 	}
 	if e.Seeds > 1 {
 		opt.Seeds = e.Seeds
-		reps, err := harness.SweepSeeds(cfgs, opt)
-		if err != nil {
-			return err
-		}
-		for _, rep := range reps {
-			if err := enc.Encode(rep.JSONRow()); err != nil {
-				return err
-			}
-		}
-		return nil
+		return streamReps(cfgs, opt, func(r harness.Replicated) error {
+			return enc.Encode(r.JSONRow())
+		})
 	}
 	return streamRows(cfgs, opt, func(r *harness.RunResult) error {
 		return enc.Encode(r.JSONRow())
@@ -367,11 +374,7 @@ func writeCSVRows(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOption
 		if err := cw.Write(header); err != nil {
 			return err
 		}
-		reps, err := harness.SweepSeeds(cfgs, opt)
-		if err != nil {
-			return err
-		}
-		for _, r := range reps {
+		err := streamReps(cfgs, opt, func(r harness.Replicated) error {
 			row := []string{
 				r.Config.App, r.Config.Storage, fmt.Sprint(r.Config.Workers), fmt.Sprint(len(r.Runs)),
 				fmt.Sprintf("%.1f", r.Makespan.Mean), fmt.Sprintf("%.2f", r.Makespan.Stddev),
@@ -380,9 +383,10 @@ func writeCSVRows(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOption
 				fmt.Sprintf("%.4f", r.CostSecond.Mean), fmt.Sprintf("%.6f", r.CostSecond.Stddev),
 				fmt.Sprintf("%.3f", r.Utilization.Mean),
 			}
-			if err := cw.Write(row); err != nil {
-				return err
-			}
+			return cw.Write(row)
+		})
+		if err != nil {
+			return err
 		}
 		cw.Flush()
 		return cw.Error()
@@ -410,6 +414,27 @@ func writeCSVRows(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOption
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// streamReps sweeps replicated cells and emits each aggregation while
+// later cells (and their replicates) are still running. SweepSeeds
+// already delivers OnCell in cell order, so the export is byte-identical
+// at any parallelism, including replicate-level splits of one cell.
+func streamReps(cfgs []harness.RunConfig, opt harness.SweepOptions, emit func(harness.Replicated) error) error {
+	var emitErr error
+	prev := opt.OnCell
+	opt.OnCell = func(cell int, rep harness.Replicated) {
+		if prev != nil {
+			prev(cell, rep)
+		}
+		if emitErr == nil {
+			emitErr = emit(rep)
+		}
+	}
+	if _, err := harness.SweepSeeds(cfgs, opt); err != nil {
+		return err
+	}
+	return emitErr
 }
 
 // streamRows sweeps the cells and emits each result as soon as every
@@ -442,16 +467,9 @@ func streamRows(cfgs []harness.RunConfig, opt harness.SweepOptions, emit func(*h
 func writeJSONRows(w io.Writer, cfgs []harness.RunConfig, opt harness.SweepOptions) error {
 	enc := json.NewEncoder(w)
 	if opt.Seeds > 1 {
-		reps, err := harness.SweepSeeds(cfgs, opt)
-		if err != nil {
-			return err
-		}
-		for _, r := range reps {
-			if err := enc.Encode(r.JSONRow()); err != nil {
-				return err
-			}
-		}
-		return nil
+		return streamReps(cfgs, opt, func(r harness.Replicated) error {
+			return enc.Encode(r.JSONRow())
+		})
 	}
 	return streamRows(cfgs, opt, func(r *harness.RunResult) error {
 		return enc.Encode(r.JSONRow())

@@ -22,6 +22,7 @@
 //	wfsim -app montage -storage nfs -nodes 2 -emit-spec run.json
 //	wfsim -spec run.json -json
 //	wfsim -app montage -storage nfs -nodes 2 -events run.wfevt
+//	wfsim -app montage -storage nfs -nodes 4 -seeds 32 -cache-dir ~/.cache/wf  # replicates cached across runs
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 
 	"ec2wfsim/internal/cluster"
 	"ec2wfsim/internal/harness"
+	"ec2wfsim/internal/resultcache"
 	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/trace"
 	"ec2wfsim/internal/units"
@@ -49,18 +51,31 @@ func main() {
 	eventsPath := flag.String("events", "", "record the run's structured event log (.wfevt) to this path; replay it with wfreplay")
 	seeds := flag.Int("seeds", 1, "replicate the run across this many derived seeds and report mean/stddev")
 	parallel := flag.Int("parallel", 0, "max concurrent replicates; 0 = all cores")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory shared across runs (metric outputs only; -gantt/-csv/-events always simulate)")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
 	specPath := flag.String("spec", "", "run the single-cell experiment spec in this JSON file (grids: wfbench -spec)")
 	emitSpec := flag.String("emit-spec", "", "write the configured run as a JSON experiment spec to this path (\"-\" = stdout) and exit")
 	flag.Parse()
 
-	if err := run(&spec, *specPath, *emitSpec, *seeds, *parallel, *gantt, *csvPath, *eventsPath, *jsonOut); err != nil {
+	if err := run(&spec, *specPath, *emitSpec, *cacheDir, *seeds, *parallel, *gantt, *csvPath, *eventsPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, gantt bool, csvPath, eventsPath string, jsonOut bool) error {
+func run(spec *scenario.Spec, specPath, emitSpec, cacheDir string, seeds, parallel int, gantt bool, csvPath, eventsPath string, jsonOut bool) error {
+	var store *resultcache.Store
+	if cacheDir != "" {
+		var err error
+		store, err = resultcache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			hits, misses := store.Stats()
+			fmt.Fprintf(os.Stderr, "wfsim: result cache %s: %d hit(s), %d miss(es)\n", cacheDir, hits, misses)
+		}()
+	}
 	if specPath != "" {
 		// The file is the whole scenario; scenario flags (and -seeds,
 		// which the spec carries) would silently fight it.
@@ -92,11 +107,21 @@ func run(spec *scenario.Spec, specPath, emitSpec string, seeds, parallel int, ga
 		if gantt || csvPath != "" || eventsPath != "" {
 			return fmt.Errorf("-gantt, -csv and -events trace a single execution; drop them or run without -seeds")
 		}
-		return runReplicated(cfg, seeds, parallel, jsonOut)
+		return runReplicated(cfg, store, seeds, parallel, jsonOut)
 	}
 	var res *harness.RunResult
 	var err error
-	if eventsPath != "" {
+	if store != nil && jsonOut && eventsPath == "" {
+		// The JSON row is pure metrics, so a cached single cell serves
+		// it without simulating; trace modes below always simulate.
+		var rs []*harness.RunResult
+		rs, err = harness.Sweep([]harness.RunConfig{cfg},
+			harness.SweepOptions{Parallel: 1, Cache: store})
+		if err != nil {
+			return err
+		}
+		res = rs[0]
+	} else if eventsPath != "" {
 		var f *os.File
 		f, err = os.Create(eventsPath)
 		if err != nil {
@@ -201,9 +226,9 @@ func workerLabel(cfg harness.RunConfig) string {
 // runReplicated sweeps the same cell across derived seeds concurrently
 // and reports the spread — the confidence band the paper's single
 // measurements lack.
-func runReplicated(cfg harness.RunConfig, seeds, parallel int, jsonOut bool) error {
+func runReplicated(cfg harness.RunConfig, store *resultcache.Store, seeds, parallel int, jsonOut bool) error {
 	reps, err := harness.SweepSeeds([]harness.RunConfig{cfg},
-		harness.SweepOptions{Seeds: seeds, Parallel: parallel})
+		harness.SweepOptions{Seeds: seeds, Parallel: parallel, Cache: store})
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,9 @@ import (
 )
 
 // NoRawRand forbids wall-clock time, raw math/rand and environment
-// probing inside the event-loop simulation packages.
+// probing inside the event-loop simulation packages and the
+// deterministic-output packages (internal/resultcache): both feed
+// byte-compared artifacts, so neither may branch on host state.
 //
 // The simulator's clock is the engine's event queue and its only
 // sanctioned entropy is internal/rng (a splitmix64 stream that is
@@ -19,7 +21,7 @@ var NoRawRand = &Analyzer{
 		"paired ablation baselines and parallel sweeps all compare runs byte for byte. " +
 		"Randomness must flow through internal/rng (stream-stable across Go versions) " +
 		"and time through the sim clock (sim.Engine / Proc.Now).",
-	Scope: inSimPackage,
+	Scope: inDeterministicPackage,
 	Run:   runNoRawRand,
 }
 

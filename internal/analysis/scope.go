@@ -29,6 +29,18 @@ var simPackages = map[string]bool{
 	"cmd/wfreplay":      true,
 }
 
+// deterministicPackages extends the wall-clock/entropy rules beyond the
+// event loop: packages that run on the host (real goroutines, real
+// files) but whose outputs feed byte-compared artifacts, so a wall-time
+// or environment-dependent decision inside them breaks reproducibility
+// just as surely as one under the sim clock. internal/resultcache lists
+// and serializes cache entries for cold-vs-warm byte-identity; the
+// concurrency rules (simgoroutine) deliberately do NOT extend here —
+// host-side stores need their atomics and file locks.
+var deterministicPackages = map[string]bool{
+	"internal/resultcache": true,
+}
+
 // seedOwners are the packages allowed to construct generators from raw
 // seed material: internal/rng defines the generator, internal/scenario
 // owns seed derivation and per-cell salting.
@@ -65,6 +77,22 @@ func inSimPackage(pkgPath string) bool {
 // InSimPackage is the exported form of inSimPackage, for the callgraph
 // package's reachability seeds.
 func InSimPackage(pkgPath string) bool { return inSimPackage(pkgPath) }
+
+// inDeterministicPackage reports whether pkgPath must keep wall-clock,
+// env and raw-rand reads out: the sim packages plus the
+// deterministic-output set.
+func inDeterministicPackage(pkgPath string) bool {
+	if inSimPackage(pkgPath) {
+		return true
+	}
+	p := rel(pkgPath)
+	for dir := range deterministicPackages {
+		if p == dir || strings.HasPrefix(p, dir+"/") {
+			return true
+		}
+	}
+	return false
+}
 
 // inModule reports whether pkgPath belongs to this module at all, and
 // excludes the lint tooling itself plus test fixtures: the analyzers

@@ -32,7 +32,7 @@ var WallTime = &Analyzer{
 }
 
 func runWallTime(pass *Pass) {
-	inSim := inSimPackage(pass.PkgPath)
+	inSim := inDeterministicPackage(pass.PkgPath)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

@@ -474,11 +474,44 @@ func (s *solver) solveV2(now float64, active []*transfer) []*transfer {
 			}
 		}
 	}
+	unfixed := len(flows)
+	if unfixed == 1 && len(h) > 0 {
+		// Low-fan-out gate: a single-flow component — an isolated write,
+		// a staggered first arrival — needs no bottleneck heap. The heap
+		// would heapify every entry, pop the minimum and fix the flow at
+		// cur = residual/count recomputed from untouched values, i.e. at
+		// exactly the minimum share key; a direct min scan performs the
+		// same division on the same operands, so the rate is bit-identical
+		// (on ties the popped entry could differ, the share value cannot).
+		t := flows[0]
+		cur := h[0].share
+		for _, e := range h[1:] {
+			if e.share < cur {
+				cur = e.share
+			}
+		}
+		if cur < 0 {
+			cur = 0
+		}
+		t.rate = cur
+		t.fixed = true
+		for _, rr := range t.resources {
+			rr.residual -= cur
+			if rr.residual < 0 {
+				rr.residual = 0
+			}
+			rr.count--
+			rr.load += cur
+		}
+		s.bn = h[:0]
+		s.queue = queue[:0]
+		s.flows = flows
+		return flows
+	}
 	// Entries were appended unordered; Floyd-heapify bottom-up in O(n).
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		bnDown(h, i)
 	}
-	unfixed := len(flows)
 	for unfixed > 0 {
 		if len(h) == 0 {
 			panic("flow: unfixed transfers with no remaining resources")

@@ -66,10 +66,18 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 		}
 		return results, out, nil
 	}
-	if name == "scale" {
+	if name == "scale" || name == "scale1000" {
 		// The large-matrix scale study: cluster sizes beyond the paper's
 		// 8 nodes, paired against the 8-node baseline; honours opt.Seeds.
-		cells, out, err := ScaleStudy(ScaleStudyOptions{Sweep: opt})
+		// The scale1000 variant jumps straight to 1000 nodes and pins the
+		// v2 coalescing flow solver — at that fan-out the v1 dirty-set
+		// solver is what makes the matrix unaffordable.
+		sopt := ScaleStudyOptions{Sweep: opt}
+		if name == "scale1000" {
+			sopt.Sizes = []int{8, 1000}
+			sopt.FlowVersion = 2
+		}
+		cells, out, err := ScaleStudy(sopt)
 		if err != nil {
 			return nil, "", err
 		}
@@ -95,7 +103,7 @@ func AblationSweep(name string, opt SweepOptions) ([]AblationResult, string, err
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures", "outages", "scale"}
+	return []string{"xtreemfs", "s3cache", "locality", "nfssync", "nfsserver", "diskinit", "workertype", "failures", "outages", "scale", "scale1000"}
 }
 
 // ablation declares one experiment: a labelled list of cells plus an

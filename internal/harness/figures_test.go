@@ -80,8 +80,8 @@ func TestAblationRegistry(t *testing.T) {
 	if _, _, err := Ablation("bogus"); err == nil {
 		t.Error("unknown ablation should fail")
 	}
-	if len(AblationNames()) != 10 {
-		t.Errorf("AblationNames = %v, want 10 entries", AblationNames())
+	if len(AblationNames()) != 11 {
+		t.Errorf("AblationNames = %v, want 11 entries", AblationNames())
 	}
 }
 

@@ -42,6 +42,10 @@ type ScaleStudyOptions struct {
 	// Apps and Storages override the study matrix.
 	Apps     []string
 	Storages []string
+	// FlowVersion selects the flow solver for every cell; 0 runs the
+	// default (v1). The 1000-node extension sets 2 — at that fan-out the
+	// coalescing heap solver is what makes the matrix affordable.
+	FlowVersion int
 	// Build, if set, supplies the workflow per application — tests use it
 	// to run scaled-down instances. Each cell gets its own instance.
 	Build func(app string) (*workflow.Workflow, error)
@@ -121,7 +125,7 @@ func ScaleStudy(o ScaleStudyOptions) ([]ScaleCell, string, error) {
 	for _, app := range o.Apps {
 		for _, sys := range o.Storages {
 			for _, workers := range o.Sizes {
-				cfg := RunConfig{App: app, Storage: sys, Workers: workers}
+				cfg := RunConfig{App: app, Storage: sys, Workers: workers, FlowVersion: o.FlowVersion}
 				if o.Build != nil {
 					w, err := o.Build(app)
 					if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ec2wfsim/internal/apps"
+	"ec2wfsim/internal/resultcache"
 	"ec2wfsim/internal/scenario"
 	"ec2wfsim/internal/sweep"
 	"ec2wfsim/internal/workflow"
@@ -59,8 +60,19 @@ type SweepOptions struct {
 	// NoMemo bypasses the process-wide cell cache, forcing fresh runs
 	// (used by determinism tests).
 	NoMemo bool
+	// Cache, if set, is the persistent cross-run result store: cells
+	// that miss the in-process memo consult it before simulating and
+	// persist their canonical metric row after. Cache-served results
+	// carry no execution trace (nil Spans/Cluster) — see
+	// internal/resultcache and the note in cache.go.
+	Cache *resultcache.Store
 	// Progress, if set, is called per completed cell in completion order.
 	Progress func(sweep.Update[RunConfig, *RunResult])
+	// OnCell, if set, streams SweepSeeds aggregations while the sweep
+	// runs: it is called once per cell whose replicates all finished,
+	// in cell (input) order, so aggregated exports can stream rows with
+	// byte-identical output at any parallelism. Calls are serialized.
+	OnCell func(cell int, rep Replicated)
 	// Ctx, if set, cancels the sweep: no new cell starts once it is
 	// done, in-flight cells finish and report to Progress, and Sweep
 	// returns Ctx.Err(). Nil means never canceled.
@@ -72,6 +84,34 @@ func (o SweepOptions) parallel() int {
 		return o.Parallel
 	}
 	return defaultParallel()
+}
+
+// engine builds the shared sweep engine for these options: the cell
+// runner (wrapped with the persistent store when one is configured),
+// the canonical memo key, and the worker pool every cell and replicate
+// unit is scheduled onto.
+func (o SweepOptions) engine() *sweep.Engine[RunConfig, *RunResult] {
+	run := runCell
+	if o.Cache != nil {
+		run = cachedRun(o.Cache, runCell)
+	}
+	eng := &sweep.Engine[RunConfig, *RunResult]{
+		Run:      run,
+		Key:      CellKey,
+		Parallel: o.parallel(),
+		Progress: o.Progress,
+	}
+	if !o.NoMemo {
+		eng.Memo = cellMemo
+	}
+	return eng
+}
+
+func (o SweepOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // CellKey canonically names a configuration for memoization: each
@@ -147,20 +187,7 @@ func runCell(cfg RunConfig) (*RunResult, error) {
 // stops the sweep promptly: completed cells still reach opt.Progress,
 // and Sweep returns the context's error.
 func Sweep(cfgs []RunConfig, opt SweepOptions) ([]*RunResult, error) {
-	eng := &sweep.Engine[RunConfig, *RunResult]{
-		Run:      runCell,
-		Key:      CellKey,
-		Parallel: opt.parallel(),
-		Progress: opt.Progress,
-	}
-	if !opt.NoMemo {
-		eng.Memo = cellMemo
-	}
-	ctx := opt.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	results, err := eng.MapCtx(ctx, cfgs)
+	results, err := opt.engine().MapCtx(opt.ctx(), cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -203,68 +230,82 @@ type Replicated struct {
 	CheckpointBytes sweep.Summary
 }
 
-// SweepSeeds runs every cell opt.Seeds times with deterministic per-cell
-// seed derivation (see CellSeed) and aggregates per cell. The flattened
-// replicate matrix shares the sweep worker pool, so replication
-// parallelizes across cells and seeds at once.
+// ReplicateConfig derives the configuration for one replicate of a
+// cell: replicate 0 is the cell itself (the paper's numbers lead every
+// replication study), higher replicates reseed every active seed field
+// from one derived value (scenario.Reseed) — provisioning and
+// task-runtime jitter always vary together, and the failure and outage
+// streams replicate with their own salts when their rates are non-zero.
+func ReplicateConfig(cfg RunConfig, rep int) RunConfig {
+	if rep == 0 {
+		return cfg
+	}
+	spec := cfg.Spec()
+	scenario.Reseed(&spec, CellSeed(cfg, rep))
+	c := SpecConfig(spec)
+	c.Workflow = cfg.Workflow
+	if cfg.Workflow != nil {
+		// A custom DAG carries its own jitter; AppSeed only
+		// replicates for the generated paper apps.
+		c.AppSeed = cfg.AppSeed
+	}
+	c.transient = true
+	return c
+}
+
+// aggregate reduces one cell's replicate runs — always in seed-index
+// order, never completion order — to its Replicated summary.
+func aggregate(cfg RunConfig, runs []*RunResult) Replicated {
+	metric := func(f func(*RunResult) float64) sweep.Summary {
+		xs := make([]float64, len(runs))
+		for j, r := range runs {
+			xs[j] = f(r)
+		}
+		return sweep.Summarize(xs)
+	}
+	return Replicated{
+		Config:          cfg,
+		Runs:            runs,
+		Makespan:        metric(func(r *RunResult) float64 { return r.Makespan }),
+		CostHour:        metric(func(r *RunResult) float64 { return r.CostHour.Total() }),
+		CostSecond:      metric(func(r *RunResult) float64 { return r.CostSecond.Total() }),
+		Utilization:     metric(func(r *RunResult) float64 { return r.Utilization }),
+		Failures:        metric(func(r *RunResult) float64 { return float64(r.Failures) }),
+		Retries:         metric(func(r *RunResult) float64 { return float64(r.Retries) }),
+		OutageKills:     metric(func(r *RunResult) float64 { return float64(r.OutageKills) }),
+		LostWork:        metric(func(r *RunResult) float64 { return r.LostWorkSeconds }),
+		CheckpointBytes: metric(func(r *RunResult) float64 { return r.CheckpointBytes }),
+	}
+}
+
+// SweepSeeds runs every cell opt.Seeds times with deterministic
+// per-cell seed derivation (see CellSeed) and aggregates per cell
+// through the two-level scheduler: each cell fans its replicates onto
+// the shared worker pool as independent work items, so a single cell
+// with -seeds 32 saturates the pool exactly like 32 cells would, and
+// each cell's reduction accumulates in seed-index order regardless of
+// which replicate finished first. With opt.OnCell set, aggregations
+// stream in cell order while later cells are still running.
 func SweepSeeds(cfgs []RunConfig, opt SweepOptions) ([]Replicated, error) {
 	seeds := opt.Seeds
 	if seeds <= 0 {
 		seeds = 1
 	}
-	flat := make([]RunConfig, 0, len(cfgs)*seeds)
-	for _, cfg := range cfgs {
-		for rep := 0; rep < seeds; rep++ {
-			c := cfg
-			if rep > 0 {
-				// One derived value drives every active seed field
-				// (scenario.Reseed): provisioning and task-runtime
-				// jitter always vary together, and the failure and
-				// outage streams replicate with their own salts when
-				// their rates are non-zero. Replicate 0 keeps the
-				// cell's own seeds — the paper's numbers lead every
-				// replication study.
-				spec := cfg.Spec()
-				scenario.Reseed(&spec, CellSeed(cfg, rep))
-				c = SpecConfig(spec)
-				c.Workflow = cfg.Workflow
-				if cfg.Workflow != nil {
-					// A custom DAG carries its own jitter; AppSeed only
-					// replicates for the generated paper apps.
-					c.AppSeed = cfg.AppSeed
-				}
-				c.transient = true
-			}
-			flat = append(flat, c)
-		}
-	}
-	results, err := Sweep(flat, opt)
-	if err != nil {
-		return nil, err
-	}
 	out := make([]Replicated, len(cfgs))
-	for i, cfg := range cfgs {
-		runs := results[i*seeds : (i+1)*seeds]
-		metric := func(f func(*RunResult) float64) sweep.Summary {
-			xs := make([]float64, len(runs))
-			for j, r := range runs {
-				xs[j] = f(r)
-			}
-			return sweep.Summarize(xs)
+	reduce := func(cell int, runs []*RunResult) {
+		// Private copies, like Sweep's: callers may mutate results.
+		copies := make([]*RunResult, len(runs))
+		for j, r := range runs {
+			c := *r // shallow copy: Cluster/Spans/Workflow are shared read-only
+			copies[j] = &c
 		}
-		out[i] = Replicated{
-			Config:          cfg,
-			Runs:            runs,
-			Makespan:        metric(func(r *RunResult) float64 { return r.Makespan }),
-			CostHour:        metric(func(r *RunResult) float64 { return r.CostHour.Total() }),
-			CostSecond:      metric(func(r *RunResult) float64 { return r.CostSecond.Total() }),
-			Utilization:     metric(func(r *RunResult) float64 { return r.Utilization }),
-			Failures:        metric(func(r *RunResult) float64 { return float64(r.Failures) }),
-			Retries:         metric(func(r *RunResult) float64 { return float64(r.Retries) }),
-			OutageKills:     metric(func(r *RunResult) float64 { return float64(r.OutageKills) }),
-			LostWork:        metric(func(r *RunResult) float64 { return r.LostWorkSeconds }),
-			CheckpointBytes: metric(func(r *RunResult) float64 { return r.CheckpointBytes }),
+		out[cell] = aggregate(cfgs[cell], copies)
+		if opt.OnCell != nil {
+			opt.OnCell(cell, out[cell])
 		}
+	}
+	if _, err := opt.engine().MapReplicates(opt.ctx(), cfgs, seeds, ReplicateConfig, reduce); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
